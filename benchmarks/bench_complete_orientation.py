@@ -1,0 +1,62 @@
+"""E03 — Lemma 3.3: Procedure Complete-Orientation.
+
+Claim: complete acyclic orientation with out-degree ⌊(2+ε)a⌋ and length
+O(a log n).  Sweep a at fixed n: the measured length must grow ~linearly
+with a (the log n factor fixed), and the out-degree bound must hold
+exactly.
+"""
+
+import pytest
+
+from conftest import cached_forest_union, run_once
+from repro.analysis import (
+    complete_orientation_length_bound,
+    emit,
+    fit_loglog_slope,
+    render_table,
+)
+from repro.core import complete_orientation
+from repro.verify import (
+    check_orientation_acyclic,
+    check_orientation_complete,
+    orientation_length,
+    orientation_max_out_degree,
+)
+
+N = 512
+SWEEP_A = [2, 4, 8, 16]
+
+
+def _measure(a):
+    gen, net = cached_forest_union(N, a, seed=a + 100)
+    co = complete_orientation(net, a)
+    check_orientation_acyclic(gen.graph, co)
+    check_orientation_complete(gen.graph, co)
+    return gen, co
+
+
+def test_length_linear_in_a(benchmark):
+    rows = []
+    lengths = []
+    for a in SWEEP_A:
+        gen, co = _measure(a)
+        length = orientation_length(gen.graph, co)
+        out = orientation_max_out_degree(gen.graph, co)
+        bound = complete_orientation_length_bound(a, N, 0.5)
+        rows.append([a, out, int(2.5 * a), length, f"{bound:.0f}", co.rounds])
+        lengths.append(length)
+        assert out <= int(2.5 * a)
+        assert length <= 3 * bound
+    emit(
+        render_table(
+            "E03 Lemma 3.3 — Complete-Orientation (n=512, eps=0.5)",
+            ["a", "out-deg", "bound", "length", "len bound (2.5a+1)log n", "rounds"],
+            rows,
+            note="claim: length O(a log n) — length must grow with a",
+        ),
+        "e03_complete_orientation.txt",
+    )
+    # length grows with a: log-log slope positive and near-linear-ish
+    slope = fit_loglog_slope([float(a) for a in SWEEP_A], [float(x) for x in lengths])
+    assert 0.3 <= slope <= 1.6
+    run_once(benchmark, lambda: _measure(SWEEP_A[-1]))

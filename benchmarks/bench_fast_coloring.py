@@ -1,0 +1,62 @@
+"""E09 — Theorem 5.2: O(a²/g(a))-coloring in O(log g(a) · log n) rounds.
+
+Sweep the defect parameter d (= f(a)): larger d means fewer colors than a²
+by a bigger factor, at slightly more rounds per class coloring.
+"""
+
+import pytest
+
+from conftest import cached_forest_union, run_once
+from repro.analysis import emit, render_table, theorem52_colors_bound
+from repro.core import theorem52_fast_coloring
+from repro.verify import check_legal_coloring
+
+N = 384
+A = 24
+ETA = 0.25
+
+
+def _measure(d):
+    gen, net = cached_forest_union(N, A, seed=800)
+    result = theorem52_fast_coloring(net, A, d=d, eta=ETA)
+    check_legal_coloring(gen.graph, result.colors)
+    return result
+
+
+def test_theorem52_sweep_d(benchmark):
+    """Sweep d in the non-degenerate regime.
+
+    Arb-Kuhn's recoloring only helps when its O((a/d)²·polylog) fixpoint is
+    below n; below that (tiny d at bench scale) the decomposition degenerates
+    to singleton classes.  The theorem's asymptotic regime is
+    n ≫ (a/d)²·polylog, so we sweep d large enough to be inside it and
+    report the degeneracy threshold in the note.
+    """
+    rows = []
+    colors = []
+    for d in [6, 8, 12, 16]:
+        result = _measure(d)
+        g_value = float(result.params["g_value"])
+        bound = theorem52_colors_bound(A, g_value)
+        rows.append(
+            [d, f"{g_value:.1f}", result.params["num_classes"],
+             result.num_colors, f"{bound:.0f}", result.rounds]
+        )
+        colors.append(result.num_colors)
+        assert result.num_colors < A * A  # strictly below the quadratic barrier
+        # the decomposition is genuinely coarse, not one-class-per-vertex
+        assert result.params["num_classes"] < N // 2
+    emit(
+        render_table(
+            "E09 Theorem 5.2 — fast coloring (n=384, a=24, eta=0.25)",
+            ["d=f(a)", "g(a)=d^{1-eta}", "classes", "colors", "bound a²/g", "rounds"],
+            rows,
+            note="claim: O(a²/g(a)) colors in O(log g(a) log n) rounds; "
+            "d below ~a/4 is degenerate at n=384 (the O((a/d)²) class space "
+            "exceeds n) and is excluded",
+        ),
+        "e09_fast_coloring.txt",
+    )
+    # more defect allowed → fewer total colors across the sweep endpoints
+    assert colors[-1] <= colors[0]
+    run_once(benchmark, lambda: _measure(8))

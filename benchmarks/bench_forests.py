@@ -1,0 +1,61 @@
+"""E02 — Lemma 2.2(2): forests decomposition.
+
+Claim: an O(a)-forests decomposition (specifically ≤ ⌊(2+ε)a⌋ forests) in
+O(log n) rounds.  Sweep a at fixed n and n at fixed a; verify forest count
+and that rounds track the H-partition's O(log n), independent of a.
+"""
+
+import pytest
+
+from conftest import cached_forest_union, cached_planar, run_once
+from repro.analysis import emit, render_table
+from repro.core import forests_decomposition
+from repro.verify import check_forests_decomposition
+
+N = 512
+SWEEP_A = [2, 4, 8, 16]
+
+
+def _measure(n, a, seed):
+    gen, net = cached_forest_union(n, a, seed=seed)
+    fd = forests_decomposition(net, a)
+    check_forests_decomposition(gen.graph, fd)
+    return fd
+
+
+def test_forest_count_linear_in_a(benchmark):
+    rows = []
+    rounds_seen = []
+    for a in SWEEP_A:
+        fd = _measure(N, a, seed=a)
+        bound = int(2.5 * a)
+        rows.append([a, fd.num_forests, bound, fd.rounds])
+        assert fd.num_forests <= bound
+        rounds_seen.append(fd.rounds)
+    emit(
+        render_table(
+            "E02 Lemma 2.2(2) — forests decomposition (n=512, eps=0.5)",
+            ["a", "forests", "bound (2.5a)", "rounds"],
+            rows,
+            note="claim: O(a) forests in O(log n) rounds — rounds must not grow with a",
+        ),
+        "e02_forests.txt",
+    )
+    # round cost is orthogonal to a (it is the H-partition's log n)
+    assert max(rounds_seen) - min(rounds_seen) <= 6
+    run_once(benchmark, lambda: _measure(N, SWEEP_A[-1], seed=SWEEP_A[-1]))
+
+
+def test_forests_on_planar(benchmark):
+    gen, net = cached_planar(400, seed=2)
+    fd = run_once(benchmark, lambda: forests_decomposition(net, 3))
+    check_forests_decomposition(gen.graph, fd)
+    emit(
+        render_table(
+            "E02b — planar triangulation (a<=3, n=400)",
+            ["forests", "bound", "rounds"],
+            [[fd.num_forests, int(2.5 * 3), fd.rounds]],
+        ),
+        "e02_forests.txt",
+    )
+    assert fd.num_forests <= 7

@@ -1,0 +1,51 @@
+"""E01 — Lemma 2.3: H-partition.
+
+Claim: an H-partition of degree ⌊(2+ε)a⌋ with ℓ = O(log n) levels is
+computed in O(log n) rounds.  We sweep n at fixed a and check that the
+measured level count tracks log n (and never exceeds the analysis bound),
+and that the partition property verifies.
+"""
+
+import pytest
+
+from conftest import cached_forest_union, run_once
+from repro.analysis import emit, fit_linear_slope, hpartition_levels_bound, render_table
+from repro.core import compute_hpartition
+from repro.verify import check_hpartition
+
+SWEEP_N = [128, 256, 512, 1024, 2048]
+A = 4
+EPS = 0.5
+
+
+def _measure(n):
+    gen, net = cached_forest_union(n, A, seed=n)
+    hp = compute_hpartition(net, A, EPS)
+    check_hpartition(gen.graph, hp)
+    return hp
+
+
+def test_hpartition_levels_scale_log_n(benchmark):
+    rows = []
+    levels = []
+    for n in SWEEP_N:
+        hp = _measure(n)
+        bound = hpartition_levels_bound(n, EPS)
+        rows.append([n, hp.num_levels, hp.rounds, f"{bound:.1f}",
+                     f"{hp.num_levels / bound:.2f}"])
+        levels.append(hp.num_levels)
+        assert hp.num_levels <= bound
+        assert hp.rounds == hp.num_levels
+    emit(
+        render_table(
+            "E01 Lemma 2.3 — H-partition levels vs log n (a=4, eps=0.5)",
+            ["n", "levels", "rounds", "bound log_{1.25} n", "measured/bound"],
+            rows,
+            note="claim: levels = O(log n); measured/bound must stay <= 1",
+        ),
+        "e01_hpartition.txt",
+    )
+    # levels grow (weakly) with log n but sublinearly in n: the increase
+    # across a 16x growth in n stays within a few levels
+    assert levels[-1] - levels[0] <= 6
+    run_once(benchmark, lambda: _measure(SWEEP_N[-1]))

@@ -1,0 +1,79 @@
+"""E11 — §1.2: MIS on bounded-arboricity graphs in O(a + a^ε log n) rounds.
+
+Compares the paper's deterministic pipeline against Luby's randomized
+baseline, and sweeps n to confirm the deterministic round count grows
+~log n at fixed a.
+"""
+
+import math
+
+import pytest
+
+from conftest import cached_forest_union, run_once
+from repro.analysis import emit, mis_rounds_bound, render_table
+from repro.core import luby_mis, mis_arboricity
+from repro.verify import check_mis
+
+A = 8
+MU = 0.5
+
+
+def _measure(n):
+    gen, net = cached_forest_union(n, A, seed=1000 + n)
+    det = mis_arboricity(net, A, mu=MU)
+    check_mis(gen.graph, det.members)
+    rnd = luby_mis(net, seed=1)
+    check_mis(gen.graph, rnd.members)
+    return det, rnd
+
+
+def test_mis_deterministic_vs_luby(benchmark):
+    rows = []
+    det_rounds = []
+    for n in [128, 256, 512, 1024]:
+        det, rnd = _measure(n)
+        bound = mis_rounds_bound(A, MU, n)
+        rows.append(
+            [n, det.size, det.rounds, f"{bound:.0f}", rnd.size, rnd.rounds]
+        )
+        det_rounds.append(det.rounds)
+    emit(
+        render_table(
+            "E11 §1.2 — MIS: deterministic (a=8, mu=0.5) vs Luby",
+            ["n", "det |MIS|", "det rounds", "bound a+a^mu·log n",
+             "Luby |MIS|", "Luby rounds"],
+            rows,
+            note="claim: deterministic O(a + a^eps log n); Luby O(log n) whp "
+            "remains faster (the randomized/deterministic gap the paper narrows)",
+        ),
+        "e11_mis.txt",
+    )
+    # determinstic rounds scale ~log n at fixed a: ratio bounded across 8x n
+    ratios = [r / math.log2(n) for r, n in zip(det_rounds, [128, 256, 512, 1024])]
+    assert max(ratios) / min(ratios) <= 3.0
+    run_once(benchmark, lambda: _measure(512))
+
+
+def test_mis_sweep_arboricity(benchmark):
+    rows = []
+    for a in [4, 8, 16]:
+        gen, net = cached_forest_union(384, a, seed=1100 + a)
+        det = mis_arboricity(net, a, mu=MU)
+        check_mis(gen.graph, det.members)
+        rows.append(
+            [a, det.params["num_colors"], det.params["coloring_rounds"],
+             det.params["sweep_rounds"], det.rounds]
+        )
+        # sweep cost = one round per color class: O(a) with our constants
+        assert det.params["sweep_rounds"] <= det.params["num_colors"]
+    emit(
+        render_table(
+            "E11b §1.2 — MIS round breakdown vs a (n=384)",
+            ["a", "colors", "coloring rounds", "sweep rounds", "total"],
+            rows,
+            note="the O(a) additive term is the class sweep; the rest is the coloring",
+        ),
+        "e11_mis.txt",
+    )
+    gen, net = cached_forest_union(384, 8, seed=1108)
+    run_once(benchmark, lambda: mis_arboricity(net, 8, mu=MU))

@@ -1,0 +1,49 @@
+"""E06 — Lemma 4.1: the one-shot O(a)-coloring in O(a^{2/3} log n) rounds.
+
+A single Arbdefective-Coloring invocation with k = t = ⌈a^{1/3}⌉, then
+parallel legal coloring of the parts.  Sweep a; colors must stay O(a) and
+rounds must grow sublinearly in a (≈ a^{2/3}).
+"""
+
+import pytest
+
+from conftest import cached_forest_union, run_once
+from repro.analysis import emit, fit_loglog_slope, render_table
+from repro.core import oneshot_legal_coloring
+from repro.verify import check_legal_coloring
+
+N = 384
+SWEEP_A = [8, 16, 27, 64]
+
+
+def _measure(a):
+    gen, net = cached_forest_union(N, a, seed=400 + a)
+    result = oneshot_legal_coloring(net, a)
+    check_legal_coloring(gen.graph, result.colors)
+    return result
+
+
+def test_lemma41_sweep_a(benchmark):
+    rows = []
+    colors = []
+    for a in SWEEP_A:
+        result = _measure(a)
+        rows.append(
+            [a, result.num_colors, f"{result.num_colors / a:.2f}", result.rounds]
+        )
+        colors.append(result.num_colors)
+    emit(
+        render_table(
+            "E06 Lemma 4.1 — one-shot O(a)-coloring (n=384, k=t=⌈a^(1/3)⌉)",
+            ["a", "colors", "colors/a", "rounds"],
+            rows,
+            note="claim: O(a) colors in O(a^{2/3} log n) rounds",
+        ),
+        "e06_oneshot.txt",
+    )
+    # colors scale ~linearly in a (slope ≈ 1 on log-log)
+    slope = fit_loglog_slope([float(a) for a in SWEEP_A], [float(c) for c in colors])
+    assert 0.5 <= slope <= 1.5
+    # colors/a bounded
+    assert all(c <= 25 * a for c, a in zip(colors, SWEEP_A))
+    run_once(benchmark, lambda: _measure(27))

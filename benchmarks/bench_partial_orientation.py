@@ -1,0 +1,105 @@
+"""E04 — Theorem 3.5 + Figure 1: Procedure Partial-Orientation.
+
+Claims: acyclic partial orientation with out-degree ⌊(2+ε)a⌋, deficit
+≤ ⌊a/t⌋, length O(t² log n), in O(log n) rounds.  Figure 1's structure:
+any directed path crosses between H-levels at most ℓ−1 = O(log n) times,
+with bounded same-level runs in between.
+
+Sweeps t; also reproduces the Figure 1 decomposition of the single longest
+directed path into cross-level edges vs intra-level runs.
+"""
+
+import pytest
+
+from conftest import cached_forest_union, run_once
+from repro.analysis import emit, partial_orientation_length_bound, render_table
+from repro.core import compute_hpartition, partial_orientation
+from repro.verify import (
+    check_orientation_acyclic,
+    check_orientation_deficit,
+    check_orientation_out_degree,
+    longest_directed_path,
+    orientation_length,
+    orientation_max_deficit,
+)
+
+N = 512
+A = 8
+SWEEP_T = [1, 2, 4, 8]
+
+
+def _measure(t):
+    gen, net = cached_forest_union(N, A, seed=200)
+    po = partial_orientation(net, A, t=t)
+    check_orientation_acyclic(gen.graph, po)
+    check_orientation_out_degree(gen.graph, po, int(2.5 * A))
+    check_orientation_deficit(gen.graph, po, A // t)
+    return gen, po
+
+
+def test_theorem35_sweep_t(benchmark):
+    rows = []
+    for t in SWEEP_T:
+        gen, po = _measure(t)
+        deficit = orientation_max_deficit(gen.graph, po)
+        length = orientation_length(gen.graph, po)
+        bound = partial_orientation_length_bound(t, N, 0.5)
+        rows.append([t, deficit, A // t, length, f"{bound:.0f}", po.rounds])
+    emit(
+        render_table(
+            "E04 Theorem 3.5 — Partial-Orientation (n=512, a=8, eps=0.5)",
+            ["t", "deficit", "deficit bound a/t", "length", "len bound (t²+1)log n", "rounds"],
+            rows,
+            note="claim: deficit <= a/t, length O(t² log n), O(log n) rounds",
+        ),
+        "e04_partial_orientation.txt",
+    )
+    run_once(benchmark, lambda: _measure(2))
+
+
+def test_partial_beats_complete_in_rounds(benchmark):
+    """The paper's central speedup: Partial-Orientation costs O(log n)
+    rounds where Complete-Orientation pays for legal level colorings."""
+    from repro.core import complete_orientation
+
+    gen, net = cached_forest_union(N, A, seed=200)
+    po = partial_orientation(net, A, t=2)
+    co = complete_orientation(net, A)
+    emit(
+        render_table(
+            "E04b — partial vs complete orientation rounds (n=512, a=8)",
+            ["variant", "rounds"],
+            [["partial (t=2)", po.rounds], ["complete", co.rounds]],
+            note="claim: partial O(log n) << complete O(a + log n) with Δ+1 coloring cost",
+        ),
+        "e04_partial_orientation.txt",
+    )
+    assert po.rounds < co.rounds
+    run_once(benchmark, lambda: partial_orientation(net, A, t=2))
+
+
+def test_figure1_path_structure(benchmark):
+    """Figure 1: the longest directed path decomposes into ≤ ℓ−1
+    cross-level edges separated by bounded same-level runs."""
+    gen, net = cached_forest_union(N, A, seed=200)
+    hp = compute_hpartition(net, A)
+    po = partial_orientation(net, A, t=2, hpartition=hp)
+    path = longest_directed_path(gen.graph, po)
+    levels = [hp.index[v] for v in path]
+    cross = sum(1 for x, y in zip(levels, levels[1:]) if x != y)
+    # longest same-level run of edges
+    best_run = run = 0
+    for x, y in zip(levels, levels[1:]):
+        run = run + 1 if x == y else 0
+        best_run = max(best_run, run)
+    emit(
+        render_table(
+            "E04c Figure 1 — longest directed path structure (n=512, a=8, t=2)",
+            ["path length", "cross-level edges", "bound ℓ-1", "longest same-level run"],
+            [[len(path) - 1, cross, hp.num_levels - 1, best_run]],
+            note="claim: <= ℓ−1 cross-level edges; same-level runs bounded by the defective palette",
+        ),
+        "e04_partial_orientation.txt",
+    )
+    assert cross <= hp.num_levels - 1
+    run_once(benchmark, lambda: longest_directed_path(gen.graph, po))

@@ -1,0 +1,113 @@
+"""E12 — §1.2's comparison narrative: the paper vs the prior state of the art.
+
+The introduction's implicit table: for graphs of arboricity a,
+
+  algorithm          colors      rounds
+  ----------------   ---------   -----------------
+  Linial [20]        O(Δ²)       O(log* n)
+  BE08 [4]           O(a)        O(a log n)
+  Luby (random)      Δ+1         O(log n) w.h.p.
+  this paper (T4.3)  O(a)        O(a^µ log n)
+  this paper (C4.6)  O(a^{1+η})  O(log a log n)
+
+We regenerate the table on every standard family and assert the paper's
+qualitative wins: same O(a) colors as BE08 at a fraction of the rounds,
+and exponentially fewer colors than Linial at polylog rounds.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro import SynchronousNetwork
+from repro.analysis import emit, render_table
+from repro.core import (
+    be08_coloring,
+    legal_coloring_corollary46,
+    legal_coloring_theorem43,
+    linial_coloring,
+    luby_coloring,
+)
+from repro.graphs import standard_families
+from repro.verify import check_legal_coloring
+
+N = 400
+A = 16
+
+
+def _contenders(net, a):
+    return [
+        ("Linial O(Δ²)", lambda: linial_coloring(net)),
+        ("BE08 O(a)", lambda: be08_coloring(net, a)),
+        ("Luby Δ+1 (rand)", lambda: luby_coloring(net, seed=1)),
+        ("T4.3 O(a)", lambda: legal_coloring_theorem43(net, a, mu=0.5)),
+        ("C4.6 O(a^1.5)", lambda: legal_coloring_corollary46(net, a, eta=0.5)),
+    ]
+
+
+def test_comparison_forest_union(benchmark):
+    from conftest import cached_forest_union
+
+    gen, net = cached_forest_union(N, A, seed=1200)
+    rows = []
+    measured = {}
+    for name, fn in _contenders(net, A):
+        result = fn()
+        check_legal_coloring(gen.graph, result.colors)
+        measured[name] = result
+        guarantee = result.params.get(
+            "final_color_space", result.params.get("palette", "-")
+        )
+        rows.append([name, result.num_colors, guarantee, result.rounds])
+    emit(
+        render_table(
+            f"E12 §1.2 — state-of-the-art comparison (forest_union n={N}, a={A}, "
+            f"Δ={gen.max_degree})",
+            ["algorithm", "colors used", "palette guarantee", "rounds"],
+            rows,
+            note="paper's wins: T4.3 ≈ BE08 colors at far fewer rounds; far "
+            "fewer colors than Linial's Θ(Δ²) guarantee at polylog rounds. "
+            "(Linial may finish in 0 rounds when n is already below its "
+            "fixpoint; its guarantee column is the binding quantity.) "
+            "T4.3(µ=0.5) and C4.6(η=0.5) coincide here: both resolve to p=4.",
+        ),
+        "e12_comparison.txt",
+    )
+    # the paper's headline inequalities at this scale
+    assert measured["T4.3 O(a)"].rounds < measured["BE08 O(a)"].rounds
+    assert (
+        measured["C4.6 O(a^1.5)"].num_colors
+        < measured["Linial O(Δ²)"].params["final_color_space"]
+    )
+    run_once(benchmark, lambda: legal_coloring_theorem43(net, A, mu=0.5))
+
+
+def test_comparison_across_families(benchmark):
+    rows = []
+    fams = standard_families(N, 6, seed=3)
+    for fam_name, gen in fams.items():
+        net = SynchronousNetwork(gen.graph)
+        a = gen.arboricity_bound
+        ours = legal_coloring_corollary46(net, a, eta=0.5)
+        be08 = be08_coloring(net, a)
+        check_legal_coloring(gen.graph, ours.colors)
+        check_legal_coloring(gen.graph, be08.colors)
+        rows.append(
+            [fam_name, a, gen.max_degree, ours.num_colors, ours.rounds,
+             be08.num_colors, be08.rounds]
+        )
+    emit(
+        render_table(
+            f"E12b — C4.6 vs BE08 across graph families (n={N})",
+            ["family", "a", "Δ", "C4.6 colors", "C4.6 rounds",
+             "BE08 colors", "BE08 rounds"],
+            rows,
+            note="small a: BE08's a·log n is affordable; the gap opens as a grows (see E12)",
+        ),
+        "e12_comparison.txt",
+    )
+    fam = fams["forest_union"]
+    net = SynchronousNetwork(fam.graph)
+    run_once(
+        benchmark,
+        lambda: legal_coloring_corollary46(net, fam.arboricity_bound, eta=0.5),
+    )

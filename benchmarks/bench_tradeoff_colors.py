@@ -1,0 +1,97 @@
+"""E08 — Theorem 4.5 / Corollary 4.6: colors-vs-time tradeoff.
+
+Claims: with p = ⌈√f(a)⌉ (slowly growing f), a^{1+o(1)} colors in
+O(f(a) log a log n) rounds; with constant p = 2^{O(1/η)}, O(a^{1+η})
+colors in O(log a log n) rounds.  Sweep p at fixed (n, a): smaller p gives
+fewer rounds per iteration but more iterations, hence more colors — the
+tradeoff curve.
+"""
+
+import math
+
+import pytest
+
+from conftest import cached_forest_union, run_once
+from repro.analysis import emit, render_table
+from repro.core import legal_coloring, legal_coloring_corollary46, legal_coloring_tradeoff45
+from repro.verify import check_legal_coloring
+
+N = 384
+A = 32
+
+
+def _measure(p):
+    gen, net = cached_forest_union(N, A, seed=700)
+    result = legal_coloring(net, A, p=p)
+    check_legal_coloring(gen.graph, result.colors)
+    return result
+
+
+def test_tradeoff_curve(benchmark):
+    rows = []
+    results = {}
+    for p in [4, 6, 8, 16, 32]:
+        result = _measure(p)
+        results[p] = result
+        rows.append(
+            [p, result.params["iterations"], result.num_colors,
+             f"{result.num_colors / A:.2f}", result.rounds]
+        )
+    emit(
+        render_table(
+            "E08 Theorems 4.5/4.6 — tradeoff across p (n=384, a=32)",
+            ["p", "iterations", "colors", "colors/a", "rounds"],
+            rows,
+            note="claim: more iterations (small p) multiply colors by (3+ε) each; "
+            "larger p costs O(p² log n) rounds per iteration",
+        ),
+        "e08_tradeoff.txt",
+    )
+    # Theorem 4.5 shape: iteration count decreases as p grows
+    iters = [results[p].params["iterations"] for p in [4, 8, 32]]
+    assert iters[0] >= iters[1] >= iters[2]
+    # colors stay a^{1+o(1)}: far below a² everywhere on the curve
+    assert all(r.num_colors < A * A for r in results.values())
+    run_once(benchmark, lambda: _measure(8))
+
+
+def test_corollary46_eta_sweep(benchmark):
+    gen, net = cached_forest_union(N, A, seed=700)
+    rows = []
+    for eta in [1.0, 0.5, 0.34]:
+        result = legal_coloring_corollary46(net, A, eta=eta)
+        check_legal_coloring(gen.graph, result.colors)
+        bound = A ** (1.0 + eta)
+        rows.append(
+            [eta, result.num_colors, f"{bound:.0f}",
+             f"{result.num_colors / bound:.2f}", result.rounds]
+        )
+        assert result.num_colors <= 40 * bound
+    emit(
+        render_table(
+            "E08b Corollary 4.6 — O(a^{1+eta}) colors (n=384, a=32)",
+            ["eta", "colors", "a^{1+eta}", "colors/bound", "rounds"],
+            rows,
+        ),
+        "e08_tradeoff.txt",
+    )
+    run_once(benchmark, lambda: legal_coloring_corollary46(net, A, eta=0.5))
+
+
+def test_theorem45_slow_growing_f(benchmark):
+    gen, net = cached_forest_union(N, A, seed=700)
+    f_value = max(4, int(math.log2(A)))  # f(a) = log a, a canonical ω(1)
+    result = run_once(
+        benchmark, lambda: legal_coloring_tradeoff45(net, A, f_value=f_value)
+    )
+    check_legal_coloring(gen.graph, result.colors)
+    emit(
+        render_table(
+            "E08c Theorem 4.5 — f(a)=log a (n=384, a=32)",
+            ["f(a)", "colors", "colors/a", "rounds"],
+            [[f_value, result.num_colors, f"{result.num_colors / A:.2f}", result.rounds]],
+            note="claim: a^{1+o(1)} colors in O(f(a) log a log n) rounds",
+        ),
+        "e08_tradeoff.txt",
+    )
+    assert result.num_colors < A * A

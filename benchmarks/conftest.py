@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one experiment from DESIGN.md §5: it runs
+the algorithm(s), prints a paper-bound vs. measured table (also appended
+under ``results/``), asserts the *shape* of the claim (who wins, how the
+quantity scales), and reports wall time through pytest-benchmark.
+
+Simulations are deterministic, so each benchmark executes its workload
+once (``pedantic`` mode) — the interesting measurements are rounds and
+colors, not nanoseconds.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.graphs import forest_union, low_arboricity_high_degree, planar_triangulation
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+@functools.lru_cache(maxsize=64)
+def cached_forest_union(n: int, a: int, seed: int = 0):
+    """Deterministic forest-union instance + its network, cached across
+    benches within a session."""
+    gen = forest_union(n, a, seed=seed)
+    return gen, SynchronousNetwork(gen.graph)
+
+
+@functools.lru_cache(maxsize=16)
+def cached_planar(n: int, seed: int = 0):
+    gen = planar_triangulation(n, seed=seed)
+    return gen, SynchronousNetwork(gen.graph)
+
+
+@functools.lru_cache(maxsize=16)
+def cached_sparse_high_degree(n: int, a: int, hubs: int, seed: int = 0):
+    gen = low_arboricity_high_degree(n, a=a, num_hubs=hubs, seed=seed)
+    return gen, SynchronousNetwork(gen.graph)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: color a bounded-arboricity graph in polylogarithmic time.
+
+Builds a graph with certified arboricity 8, runs the paper's headline
+algorithm (Corollary 4.6: O(a^{1+η}) colors in O(log a · log n) rounds),
+verifies legality, and compares against the prior state of the art
+(BE08's O(a log n)-round algorithm) and the randomized Luby baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SynchronousNetwork, forest_union
+from repro.core import be08_coloring, legal_coloring_corollary46, luby_coloring
+from repro.verify import check_legal_coloring
+
+
+def main() -> None:
+    # A graph made of 8 random spanning forests: arboricity ≤ 8, certified
+    # by construction.  Every vertex hosts a processor; they communicate
+    # only with neighbours, in synchronous rounds.
+    gen = forest_union(n=1000, a=8, seed=42)
+    print(f"graph: n={gen.n}, m={gen.m}, arboricity ≤ {gen.arboricity_bound}, "
+          f"Δ={gen.max_degree}")
+
+    net = SynchronousNetwork(gen.graph)
+
+    # The paper's algorithm: O(a^{1+η}) colors in O(log a · log n) rounds.
+    ours = legal_coloring_corollary46(net, a=gen.arboricity_bound, eta=0.5)
+    check_legal_coloring(gen.graph, ours.colors)
+    print(f"\n[this paper, Cor 4.6]  {ours.num_colors} colors in "
+          f"{ours.rounds} rounds")
+
+    # Prior deterministic state of the art: same O(a) colors, O(a log n) rounds.
+    be08 = be08_coloring(net, a=gen.arboricity_bound)
+    check_legal_coloring(gen.graph, be08.colors)
+    print(f"[BE08 baseline]        {be08.num_colors} colors in "
+          f"{be08.rounds} rounds")
+
+    # The randomized yardstick: Δ+1 colors in O(log n) rounds w.h.p.
+    luby = luby_coloring(net, seed=7)
+    check_legal_coloring(gen.graph, luby.colors)
+    print(f"[Luby, randomized]     {luby.num_colors} colors in "
+          f"{luby.rounds} rounds")
+
+    speedup = be08.rounds / max(1, ours.rounds)
+    print(f"\nthe paper's algorithm is {speedup:.1f}x faster than the prior "
+          f"deterministic art on this instance, with a comparable palette —")
+    print("and the gap grows exponentially with the arboricity (see "
+          "benchmarks/bench_state_of_the_art.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""TDMA slot assignment for a wireless sensor network.
+
+The paper's motivating application ([14] Hermann & Tixeuil): in a sensor
+field, two nodes whose radios interfere must not transmit in the same TDMA
+slot.  Modeling interference as a graph, a legal vertex coloring *is* a
+collision-free slot assignment, and the number of colors is the frame
+length — fewer colors means higher throughput per node.
+
+Geometric radio networks are sparse in the arboricity sense (a random
+unit-disk graph's arboricity is far below its maximum degree around hot
+spots), which is exactly the regime where the paper's arboricity-based
+algorithms beat degree-based ones.
+
+Run:  python examples/tdma_slot_assignment.py
+"""
+
+import math
+import random
+
+from repro import Graph, SynchronousNetwork
+from repro.core import delta_plus_one_via_arboricity, legal_coloring_corollary46
+from repro.graphs import arboricity_bounds
+from repro.verify import check_legal_coloring
+
+
+def unit_disk_graph(n: int, radius: float, seed: int) -> Graph:
+    """Sensors dropped uniformly in the unit square; edges within range."""
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    edges = []
+    for i in range(n):
+        xi, yi = points[i]
+        for j in range(i + 1, n):
+            xj, yj = points[j]
+            if (xi - xj) ** 2 + (yi - yj) ** 2 <= radius * radius:
+                edges.append((i, j))
+    return Graph(range(n), edges)
+
+
+def simulate_frame(graph: Graph, slots: dict) -> int:
+    """Simulate one TDMA frame: count collisions (must be zero)."""
+    collisions = 0
+    for (u, v) in graph.edges:
+        if slots[u] == slots[v]:
+            collisions += 1
+    return collisions
+
+
+def main() -> None:
+    field = unit_disk_graph(n=600, radius=0.07, seed=3)
+    lo, hi = arboricity_bounds(field)
+    print(f"sensor field: n={field.n}, m={field.m}, Δ={field.max_degree}, "
+          f"arboricity in [{lo}, {hi}]")
+
+    net = SynchronousNetwork(field)
+
+    # Slot assignment via the paper's coloring: O(a^{1+η}) slots computed in
+    # polylog rounds — each round is one beacon interval in a real network.
+    coloring = legal_coloring_corollary46(net, a=hi, eta=0.5)
+    check_legal_coloring(field, coloring.colors)
+    slots = coloring.normalized().colors
+    frame = max(slots.values()) + 1
+    print(f"\n[Cor 4.6 schedule]  frame length {frame} slots, computed in "
+          f"{coloring.rounds} rounds")
+    print(f"collisions in simulated frame: {simulate_frame(field, slots)}")
+
+    # Tighter frame: reduce to Δ+1 slots via Corollary 4.7 (a ≪ Δ regime).
+    tight = delta_plus_one_via_arboricity(net, a=hi, nu=0.5)
+    check_legal_coloring(field, tight.colors)
+    tight_slots = tight.normalized().colors
+    tight_frame = max(tight_slots.values()) + 1
+    print(f"\n[Cor 4.7 schedule]  frame length {tight_frame} slots "
+          f"(Δ+1 = {field.max_degree + 1}), computed in {tight.rounds} rounds")
+    print(f"collisions in simulated frame: {simulate_frame(field, tight_slots)}")
+
+    per_node_throughput = 1.0 / tight_frame
+    print(f"\neach sensor transmits every {tight_frame} slots "
+          f"({per_node_throughput:.1%} duty cycle), guaranteed collision-free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — a reproduction of Barenboim & Elkin (PODC 2010),
+*Deterministic Distributed Vertex Coloring in Polylogarithmic Time*.
+
+The package has four layers:
+
+* :mod:`repro.simulator` — the LOCAL-model synchronous round simulator;
+* :mod:`repro.graphs` — the graph substrate and generators with certified
+  arboricity;
+* :mod:`repro.core` — the paper's algorithms (Legal-Coloring, Arb-Kuhn,
+  arbdefective colorings, partial orientations, ...) and every substrate
+  they depend on (H-partitions, forests decompositions, Linial, Kuhn,
+  Cole–Vishkin, color reductions, baselines);
+* :mod:`repro.verify` — checkers for every stated guarantee.
+
+Quickstart::
+
+    from repro import SynchronousNetwork, forest_union
+    from repro.core import legal_coloring_corollary46
+    from repro.verify import check_legal_coloring
+
+    g = forest_union(n=512, a=8, seed=1)
+    net = SynchronousNetwork(g.graph)
+    coloring = legal_coloring_corollary46(net, a=g.arboricity_bound, eta=0.5)
+    check_legal_coloring(g.graph, coloring.colors)
+    print(coloring.num_colors, "colors in", coloring.rounds, "rounds")
+"""
+
+from .errors import (
+    InvalidParameterError,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+    VerificationError,
+)
+from .graphs import (
+    GeneratedGraph,
+    Graph,
+    forest_union,
+    planar_triangulation,
+    random_regular,
+    random_tree,
+)
+from .simulator import NodeContext, NodeProgram, RoundLedger, SynchronousNetwork
+from .types import (
+    ColorAssignment,
+    Decomposition,
+    ForestsDecomposition,
+    HPartition,
+    MISResult,
+    Orientation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "GeneratedGraph",
+    "SynchronousNetwork",
+    "NodeProgram",
+    "NodeContext",
+    "RoundLedger",
+    "ColorAssignment",
+    "Orientation",
+    "HPartition",
+    "ForestsDecomposition",
+    "Decomposition",
+    "MISResult",
+    "ReproError",
+    "SimulationError",
+    "RoundLimitExceeded",
+    "InvalidParameterError",
+    "VerificationError",
+    "forest_union",
+    "random_tree",
+    "random_regular",
+    "planar_triangulation",
+]

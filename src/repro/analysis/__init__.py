@@ -1,0 +1,37 @@
+"""Bound formulas and table rendering for the benchmark harness."""
+
+from .bounds import (
+    arbdefective_bound,
+    complete_orientation_length_bound,
+    fit_linear_slope,
+    fit_loglog_slope,
+    hpartition_levels_bound,
+    log2_ceil,
+    log_star,
+    mis_rounds_bound,
+    partial_orientation_length_bound,
+    ratio_spread,
+    theorem43_rounds_bound,
+    theorem52_colors_bound,
+    theorem53_colors_bound,
+)
+from .tables import emit, render_table, results_dir
+
+__all__ = [
+    "log_star",
+    "log2_ceil",
+    "hpartition_levels_bound",
+    "complete_orientation_length_bound",
+    "partial_orientation_length_bound",
+    "arbdefective_bound",
+    "theorem43_rounds_bound",
+    "theorem52_colors_bound",
+    "theorem53_colors_bound",
+    "mis_rounds_bound",
+    "fit_loglog_slope",
+    "fit_linear_slope",
+    "ratio_spread",
+    "render_table",
+    "emit",
+    "results_dir",
+]

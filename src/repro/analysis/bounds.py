@@ -1,0 +1,125 @@
+"""Closed-form bound formulas and shape-fitting helpers.
+
+The benchmark harness compares *measured* rounds/colors/lengths against the
+paper's *claimed* asymptotic forms.  This module supplies:
+
+* the claimed-bound formulas (with explicit constants left symbolic — we
+  report the measured/bound ratio, which should stay O(1) across a sweep);
+* :func:`log_star` — the iterated logarithm;
+* :func:`fit_loglog_slope` — least-squares slope on log-log data, used to
+  check power-law shapes (e.g. rounds ~ a^µ for Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def log_star(n) -> int:
+    """The iterated logarithm: how many times log₂ until the value ≤ 2.
+
+    Handles arbitrarily large ints (beyond float range) via bit_length.
+    """
+    count = 0
+    x = n
+    while True:
+        if isinstance(x, int) and x > 2**52:
+            x = x.bit_length()  # one exact-enough log₂ step
+            count += 1
+            continue
+        x = float(x)
+        if x <= 2.0:
+            return count
+        x = math.log2(x)
+        count += 1
+
+
+def log2_ceil(n: int) -> int:
+    """⌈log₂ n⌉ for n ≥ 1."""
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+def hpartition_levels_bound(n: int, epsilon: float) -> float:
+    """Claimed ℓ = O(log n): log_{(2+ε)/2} n (Lemma 2.3's analysis)."""
+    if n <= 1:
+        return 1.0
+    return math.log(n) / math.log((2.0 + epsilon) / 2.0)
+
+
+def complete_orientation_length_bound(a: int, n: int, epsilon: float) -> float:
+    """Claimed length O(a log n) for Lemma 3.3 (colors-per-level × levels)."""
+    return ((2.0 + epsilon) * a + 1) * hpartition_levels_bound(n, epsilon)
+
+
+def partial_orientation_length_bound(t: int, n: int, epsilon: float) -> float:
+    """Claimed length O(t² log n) for Theorem 3.5."""
+    return (t * t + 1) * hpartition_levels_bound(n, epsilon)
+
+
+def arbdefective_bound(a: int, k: int, t: int, epsilon: float) -> int:
+    """Corollary 3.6's arbdefect bound ⌊a/t + (2+ε)a/k⌋."""
+    return int(a / t + (2.0 + epsilon) * a / k)
+
+
+def theorem43_rounds_bound(a: int, mu: float, n: int) -> float:
+    """Claimed O(a^µ log n) for Theorem 4.3."""
+    return (a**mu) * max(1.0, math.log2(max(2, n)))
+
+
+def theorem52_colors_bound(a: int, g_value: float) -> float:
+    """Claimed O(a²/g(a)) colors for Theorem 5.2."""
+    return a * a / max(1.0, g_value)
+
+
+def theorem53_colors_bound(a: int, t: int) -> float:
+    """Claimed O(a·t) colors for Theorem 5.3."""
+    return float(a * t)
+
+
+def mis_rounds_bound(a: int, mu: float, n: int) -> float:
+    """Claimed O(a + a^µ log n) for the §1.2 MIS result."""
+    return a + (a**mu) * max(1.0, math.log2(max(2, n)))
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    The shape checks use this to confirm power laws: e.g. for Theorem 4.3
+    the rounds at fixed n across a sweep of a should have slope ≈ µ.
+    Requires positive data and at least two distinct x values.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("fit_loglog_slope: need two same-length sequences")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-9)) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("fit_loglog_slope: x values are all equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    return sxy / sxx
+
+
+def fit_linear_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of y against x (used for rounds ~ log n checks)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("fit_linear_slope: need two same-length sequences")
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("fit_linear_slope: x values are all equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+def ratio_spread(ratios: Sequence[float]) -> float:
+    """max/min of a sequence of positive ratios (boundedness check)."""
+    positive = [r for r in ratios if r > 0]
+    if not positive:
+        return 1.0
+    return max(positive) / min(positive)

@@ -1,0 +1,65 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Benchmarks print the same rows/series the paper's theorems imply; this
+module renders them consistently and (optionally) appends them to
+``results/`` files so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table with a title banner."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def results_dir() -> str:
+    """Directory where benchmarks append their tables (created on demand)."""
+    path = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "results"),
+    )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit(table: str, filename: Optional[str] = None) -> None:
+    """Print a table and optionally append it to ``results/<filename>``."""
+    print()
+    print(table)
+    if filename:
+        path = os.path.join(results_dir(), filename)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(table + "\n\n")

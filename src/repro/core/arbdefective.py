@@ -1,0 +1,168 @@
+"""Arbdefective colorings (Section 3): the paper's new concept.
+
+An *r-arbdefective k-coloring* uses k colors such that every color class
+induces a subgraph of **arboricity** at most r (Definition 2.1) — the
+arboricity analogue of defective coloring, and the reason the paper's
+recursion works: unlike defective coloring, the product (number of parts) ×
+(arboricity per part) stays O(a).
+
+* :func:`simple_arbdefective` — Procedure Simple-Arbdefective (Theorem
+  3.2): along an acyclic (partial) orientation of out-degree ≤ m and
+  deficit ≤ τ, every vertex waits for its parents and picks the color of
+  ``[k]`` least used among them; the Pigeonhole principle bounds the
+  same-colored parents by ⌊m/k⌋, so each class has an acyclic orientation
+  of out-degree ≤ τ + ⌊m/k⌋ after completing the unoriented edges (Lemmas
+  3.1 + 2.5).  Runs in length(σ)+1 rounds.
+* :func:`arbdefective_coloring` — Procedure Arbdefective-Coloring
+  (Corollary 3.6): Partial-Orientation(t) then Simple-Arbdefective(k),
+  giving an ⌊a/t + (2+ε)a/k⌋-arbdefective k-coloring in O(t² log n)
+  rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import InvalidParameterError, SimulationError
+from ..simulator.context import NodeContext
+from ..simulator.network import SynchronousNetwork
+from ..simulator.program import NodeProgram
+from ..types import Decomposition, Orientation, Vertex
+from .orientation import partial_orientation
+
+
+class _SimpleArbdefectiveProgram(NodeProgram):
+    """Wait for all parents; pick the color least used among them."""
+
+    def __init__(self, parents_of: Callable[[Vertex], Sequence[Vertex]], k: int):
+        self._parents_of = parents_of
+        self._k = k
+        self._parents: frozenset = frozenset()
+        self._parent_colors: Dict[Vertex, int] = {}
+
+    def _decide(self, ctx: NodeContext) -> None:
+        counts = [0] * self._k
+        for c in self._parent_colors.values():
+            counts[c] += 1
+        color = min(range(self._k), key=lambda c: (counts[c], c))
+        ctx.broadcast(color)
+        ctx.halt(color)
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._parents = frozenset(self._parents_of(ctx.node))
+        if not self._parents:
+            self._decide(ctx)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        for sender, payload in ctx.inbox.items():
+            if sender in self._parents:
+                self._parent_colors[sender] = payload
+        if len(self._parent_colors) == len(self._parents):
+            self._decide(ctx)
+
+
+def simple_arbdefective(
+    network: SynchronousNetwork,
+    orientation: Orientation,
+    k: int,
+    *,
+    out_degree_bound: int,
+    deficit_bound: int = 0,
+    participants=None,
+    part_of=None,
+) -> Decomposition:
+    """Procedure Simple-Arbdefective (Theorem 3.2).
+
+    Given an acyclic (partial) orientation of length ℓ, out-degree ≤ m and
+    deficit ≤ τ, produces a (τ + ⌊m/k⌋)-arbdefective k-coloring in O(ℓ)
+    rounds.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"simple_arbdefective: k must be >= 1, got {k}")
+    graph = network.graph
+    active = set(participants) if participants is not None else set(graph.vertices)
+
+    def parents_of(v: Vertex) -> List[Vertex]:
+        if part_of is not None:
+            label = part_of.get(v)
+            nbrs = [
+                u
+                for u in graph.neighbors(v)
+                if u in active and part_of.get(u) == label
+            ]
+        else:
+            nbrs = [u for u in graph.neighbors(v) if u in active]
+        return orientation.parents_of(v, nbrs)
+
+    result = network.run(
+        lambda: _SimpleArbdefectiveProgram(parents_of, k),
+        participants=participants,
+        part_of=part_of,
+        global_params={"k": k},
+    )
+    bound = deficit_bound + out_degree_bound // k
+    return Decomposition(
+        label=dict(result.outputs),
+        arboricity_bound=bound,
+        rounds=result.rounds,
+        params={
+            "k": k,
+            "out_degree_bound": out_degree_bound,
+            "deficit_bound": deficit_bound,
+            "orientation": orientation,
+        },
+    )
+
+
+def arbdefective_coloring(
+    network: SynchronousNetwork,
+    a: int,
+    k: int,
+    t: int,
+    epsilon: float = 0.5,
+    *,
+    participants=None,
+    part_of=None,
+) -> Decomposition:
+    """Procedure Arbdefective-Coloring (Corollary 3.6).
+
+    Computes an ⌊a/t + (2+ε)·a/k⌋-arbdefective k-coloring of (a subgraph
+    of) the network in O(t² log n) rounds: a Partial-Orientation with
+    parameter t followed by Simple-Arbdefective with parameter k.
+
+    The returned :class:`~repro.types.Decomposition` stores the partial
+    orientation in ``params["orientation"]`` — it certifies the arboricity
+    bound of every color class (restrict and complete it: out-degree ≤
+    deficit + ⌊out_degree/k⌋, then Lemma 2.5).
+    """
+    if a < 1:
+        raise InvalidParameterError(f"arbdefective_coloring: a must be >= 1, got {a}")
+    orientation = partial_orientation(
+        network, a, t, epsilon, participants=participants, part_of=part_of
+    )
+    out_bound = int(orientation.params["out_degree_bound"])
+    deficit = int(orientation.params["deficit_bound"])
+    decomposition = simple_arbdefective(
+        network,
+        orientation,
+        k,
+        out_degree_bound=out_bound,
+        deficit_bound=deficit,
+        participants=participants,
+        part_of=part_of,
+    )
+    total_rounds = orientation.rounds + decomposition.rounds
+    return Decomposition(
+        label=decomposition.label,
+        arboricity_bound=decomposition.arboricity_bound,
+        rounds=total_rounds,
+        params={
+            "a": a,
+            "k": k,
+            "t": t,
+            "epsilon": epsilon,
+            "out_degree_bound": out_bound,
+            "deficit_bound": deficit,
+            "orientation": orientation,
+        },
+    )

@@ -1,0 +1,138 @@
+"""Forests decomposition (Lemma 2.2(2), from BE08 [4]).
+
+Given an H-partition, orient every edge towards the endpoint with the
+lexicographically larger ``(H-index, id)`` pair.  This orientation is
+acyclic and has out-degree at most the H-partition's degree bound
+``A = ⌊(2+ε)·a⌋`` (all out-edges go to neighbours at the same or higher
+level, of which there are at most A).  Each vertex then labels its outgoing
+edges ``0 .. out_degree−1``; the edges with label ``f`` form forest ``f``,
+because every vertex has at most one parent per label and the global
+orientation is acyclic.  This realises an ``O(a)``-forests decomposition in
+O(log n) rounds, and also Lemma 2.4 (acyclic complete orientation with
+out-degree O(a)).
+
+Distributed protocol after the H-partition: one round to exchange H-indices
+(each vertex then knows the orientation of its incident edges locally), one
+round for tails to announce the forest label of each out-edge to its head.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..simulator.context import NodeContext
+from ..simulator.network import SynchronousNetwork
+from ..simulator.program import NodeProgram
+from ..types import (
+    ForestsDecomposition,
+    HPartition,
+    Orientation,
+    Vertex,
+    canonical_edge,
+)
+from .hpartition import compute_hpartition
+
+
+class _ForestLabelProgram(NodeProgram):
+    """Exchange H-indices, then label out-edges with forest indices.
+
+    Round 1: learn neighbours' levels, fix out-edge labels, tell each head
+    its label.  Round 2: record the labels of in-edges (so *both* endpoints
+    know the forest of every incident edge, as the paper requires) and halt.
+
+    Output per node: ``(level, out_labels, in_labels)`` where ``out_labels``
+    maps each out-neighbour to the forest label of that edge and
+    ``in_labels`` the same for in-edges.
+    """
+
+    def __init__(self, level_of: Dict[Vertex, int]):
+        self._level_of = level_of
+        self._labels: Dict[Vertex, int] = {}
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast(self._level_of[ctx.node])
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if ctx.round_number == 1:
+            my_key = (self._level_of[ctx.node], ctx.node)
+            out_neighbors = sorted(
+                u for u, lvl in ctx.inbox.items() if (lvl, u) > my_key
+            )
+            self._labels = {u: f for f, u in enumerate(out_neighbors)}
+            for u, f in self._labels.items():
+                ctx.send(u, ("forest", f))
+            return
+        in_labels = {
+            sender: payload[1]
+            for sender, payload in ctx.inbox.items()
+            if isinstance(payload, tuple) and payload[0] == "forest"
+        }
+        ctx.halt((self._level_of[ctx.node], self._labels, in_labels))
+
+
+def hpartition_orientation(
+    graph, hpartition: HPartition
+) -> Orientation:
+    """The acyclic (level, id)-lexicographic orientation induced by an
+    H-partition (centralized assembly of locally-determined directions)."""
+    direction = {}
+    idx = hpartition.index
+    for (u, v) in graph.edges:
+        if u not in idx or v not in idx:
+            continue
+        head = v if (idx[v], v) > (idx[u], u) else u
+        direction[canonical_edge(u, v)] = head
+    return Orientation(
+        direction=direction,
+        algorithm="hpartition-orientation",
+        params={"degree_bound": hpartition.degree_bound},
+    )
+
+
+def forests_decomposition(
+    network: SynchronousNetwork,
+    a: int,
+    epsilon: float = 0.5,
+    *,
+    participants=None,
+    part_of=None,
+    hpartition: Optional[HPartition] = None,
+) -> ForestsDecomposition:
+    """Decompose (a subgraph of) the network into ≤ ⌊(2+ε)a⌋ oriented forests.
+
+    Lemma 2.2(2): O(a) forests in O(log n) rounds.  An existing H-partition
+    may be supplied to avoid recomputing it.
+    """
+    if hpartition is None:
+        hpartition = compute_hpartition(
+            network, a, epsilon, participants=participants, part_of=part_of
+        )
+    result = network.run(
+        lambda: _ForestLabelProgram(hpartition.index),
+        participants=participants,
+        part_of=part_of,
+        global_params={"a": a, "epsilon": epsilon},
+    )
+    forest_of: Dict[Tuple[int, int], int] = {}
+    direction = {}
+    num_forests = 0
+    for v, out in result.outputs.items():
+        _level, labels, _in_labels = out
+        for head, f in labels.items():
+            e = canonical_edge(v, head)
+            forest_of[e] = f
+            direction[e] = head
+            num_forests = max(num_forests, f + 1)
+    orientation = Orientation(
+        direction=direction,
+        rounds=hpartition.rounds + result.rounds,
+        algorithm="forests-decomposition-orientation",
+        params={"a": a, "epsilon": epsilon},
+    )
+    return ForestsDecomposition(
+        forest_of=forest_of,
+        orientation=orientation,
+        num_forests=num_forests,
+        rounds=hpartition.rounds + result.rounds,
+        params={"a": a, "epsilon": epsilon, "degree_bound": hpartition.degree_bound},
+    )

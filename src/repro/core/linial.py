@@ -1,0 +1,46 @@
+"""Linial's O(Δ²)-coloring in O(log* n) rounds (FOCS'87 [19, 20]).
+
+The historical baseline the paper improves on: a legal coloring with O(Δ²)
+colors — the quadratic barrier Linial asked whether one can beat in
+polylogarithmic time, and which the paper's Sections 4–5 do beat.
+
+Implemented as the zero-defect instance of the generic recoloring engine
+(:mod:`repro.core.recolor`) with conflicts counted against all neighbours:
+each iteration maps the current M-coloring through a degree-D polynomial
+family over GF(q) with q > D·Δ, shrinking M to q² until the fixpoint
+q = O(Δ) is reached after O(log* n) iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simulator.network import SynchronousNetwork
+from ..types import ColorAssignment
+from .recolor import run_recoloring
+
+
+def linial_coloring(
+    network: SynchronousNetwork,
+    max_degree: Optional[int] = None,
+    *,
+    participants=None,
+    part_of=None,
+) -> ColorAssignment:
+    """Compute a legal O(Δ²)-coloring in O(log* n) rounds.
+
+    ``max_degree`` defaults to the true maximum degree of the graph (a
+    globally-known parameter in the paper's model).  When running on a
+    subgraph (``participants``/``part_of``), pass the degree bound of the
+    *visible* graph.
+    """
+    if max_degree is None:
+        max_degree = network.graph.max_degree
+    return run_recoloring(
+        network,
+        conflict_degree=max_degree,
+        defect_target=0,
+        participants=participants,
+        part_of=part_of,
+        algorithm_name="linial",
+    )

@@ -1,0 +1,214 @@
+"""Maximal independent set algorithms.
+
+The paper (§1.2) derives from its coloring results an MIS algorithm for
+graphs of arboricity a running in O(a + a^ε·log n) rounds: compute an
+O(a)-coloring (Theorem 4.3 / Corollary 4.4), then sweep the color classes —
+in the round of class c, every still-undecided vertex of color c with no
+neighbour already in the MIS joins it.  The sweep takes one round per color,
+and the coloring has O(a) colors, giving the claimed bound.
+
+:func:`luby_mis` is the classical randomized baseline [22, 1]: O(log n)
+rounds with high probability, which the paper's deterministic algorithms
+are measured against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Mapping, Optional, Set
+
+from ..errors import InvalidParameterError
+from ..simulator.context import NodeContext
+from ..simulator.network import SynchronousNetwork
+from ..simulator.program import NodeProgram
+from ..types import ColorAssignment, MISResult, Vertex
+from .legal import legal_coloring_theorem43
+
+_JOINED = "joined-mis"
+
+
+class _ColorClassMISProgram(NodeProgram):
+    """Sweep color classes; join the MIS unless a neighbour already did."""
+
+    def __init__(self, color_of: Callable[[Vertex], int]):
+        self._color_of = color_of
+        self._blocked = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._color = int(self._color_of(ctx.node))
+        if self._color == 0:
+            # class 0 is an independent set (the coloring is legal): all of
+            # it joins immediately
+            ctx.broadcast(_JOINED)
+            ctx.halt(True)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if any(payload == _JOINED for payload in ctx.inbox.values()):
+            ctx.halt(False)
+            return
+        if ctx.round_number == self._color:
+            ctx.broadcast(_JOINED)
+            ctx.halt(True)
+
+
+def mis_from_coloring(
+    network: SynchronousNetwork,
+    coloring: ColorAssignment,
+    *,
+    participants=None,
+    part_of=None,
+) -> MISResult:
+    """Turn a legal coloring into an MIS, one round per color class.
+
+    Linial's classical reduction direction: with C colors the sweep costs
+    C−1 rounds (class 0 joins at round 0 for free).
+    """
+    normalized = coloring.normalized()
+    result = network.run(
+        lambda: _ColorClassMISProgram(lambda v: normalized.colors[v]),
+        participants=participants,
+        part_of=part_of,
+        global_params={"num_colors": normalized.num_colors},
+    )
+    members = {v for v, joined in result.outputs.items() if joined}
+    return MISResult(
+        members=members,
+        rounds=result.rounds,
+        algorithm="mis-from-coloring",
+        params={"num_colors": normalized.num_colors},
+    )
+
+
+def mis_arboricity(
+    network: SynchronousNetwork,
+    a: int,
+    mu: float = 0.5,
+    epsilon: float = 0.5,
+    *,
+    participants=None,
+    part_of=None,
+) -> MISResult:
+    """The paper's MIS for arboricity-a graphs: O(a + a^µ·log n) rounds.
+
+    O(a)-coloring via Theorem 4.3, then the color-class sweep (O(a) more
+    rounds since the coloring uses O(a) colors).
+    """
+    coloring = legal_coloring_theorem43(
+        network, a, mu, epsilon, participants=participants, part_of=part_of
+    )
+    sweep = mis_from_coloring(
+        network, coloring, participants=participants, part_of=part_of
+    )
+    return MISResult(
+        members=sweep.members,
+        rounds=coloring.rounds + sweep.rounds,
+        algorithm="mis-arboricity (§1.2)",
+        params={
+            "a": a,
+            "mu": mu,
+            "coloring_rounds": coloring.rounds,
+            "sweep_rounds": sweep.rounds,
+            "num_colors": coloring.num_colors,
+        },
+    )
+
+
+class _LubyProgram(NodeProgram):
+    """Luby's randomized MIS: local minima of fresh random priorities join.
+
+    Each iteration takes three rounds:
+
+    1. every active node broadcasts a fresh random priority;
+    2. nodes that are a strict (priority, id)-minimum among their active
+       neighbours broadcast "joined" and enter the MIS;
+    3. nodes that heard "joined" broadcast "left" and give up; survivors
+       drop the leavers from their active set and start the next iteration
+       (or join, if no active neighbour remains).
+    """
+
+    _PRIO, _JOIN, _LEFT = "prio", "joined", "left"
+
+    def __init__(self, seed: int):
+        self._seed = seed
+        self._rng: Optional[random.Random] = None
+        self._active_neighbors: Set[Vertex] = set()
+        self._priority = 0.0
+        self._phase = 0  # cycles: 0 sent prio, 1 decided, 2 announced
+
+    def _begin_iteration(self, ctx: NodeContext) -> None:
+        if not self._active_neighbors:
+            ctx.broadcast((self._JOIN,))
+            ctx.halt(True)
+            return
+        self._priority = self._rng.random()
+        ctx.broadcast((self._PRIO, self._priority))
+        self._phase = 0
+
+    def on_start(self, ctx: NodeContext) -> None:
+        # Per-node generator seeded by (global seed, id): independent
+        # streams, deterministic replay.
+        self._rng = random.Random(self._seed * 1_000_003 + ctx.node)
+        self._active_neighbors = set(ctx.neighbors)
+        self._begin_iteration(ctx)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if self._phase == 0:
+            live = {
+                u: payload[1]
+                for u, payload in ctx.inbox.items()
+                if payload[0] == self._PRIO and u in self._active_neighbors
+            }
+            if all((self._priority, ctx.node) < (p, u) for u, p in live.items()):
+                ctx.broadcast((self._JOIN,))
+                ctx.halt(True)
+                return
+            self._phase = 1
+        elif self._phase == 1:
+            if any(payload[0] == self._JOIN for payload in ctx.inbox.values()):
+                ctx.broadcast((self._LEFT,))
+                ctx.halt(False)
+                return
+            self._phase = 2
+        else:
+            for sender, payload in ctx.inbox.items():
+                if payload[0] == self._LEFT:
+                    self._active_neighbors.discard(sender)
+            self._begin_iteration(ctx)
+
+
+def luby_mis(
+    network: SynchronousNetwork,
+    seed: int = 0,
+    *,
+    participants=None,
+    part_of=None,
+) -> MISResult:
+    """Luby's randomized MIS [22]: O(log n) rounds with high probability.
+
+    The randomized baseline the paper's deterministic algorithms compete
+    with.  Deterministic given ``seed``.
+    """
+    result = network.run(
+        lambda: _LubyProgram(seed),
+        participants=participants,
+        part_of=part_of,
+        global_params={"seed": seed},
+    )
+    members = {v for v, joined in result.outputs.items() if joined}
+    return MISResult(
+        members=members,
+        rounds=result.rounds,
+        algorithm="luby-mis",
+        params={"seed": seed},
+    )
+
+
+def greedy_mis_sequential(graph) -> Set[Vertex]:
+    """Centralized greedy MIS by ascending id (verification reference)."""
+    members: Set[Vertex] = set()
+    blocked: Set[Vertex] = set()
+    for v in graph.vertices:
+        if v not in blocked:
+            members.add(v)
+            blocked.update(graph.neighbors(v))
+    return members

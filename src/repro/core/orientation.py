@@ -1,0 +1,335 @@
+"""Acyclic orientations: the paper's Section 3 machinery.
+
+* :func:`complete_orientation` — Procedure Complete-Orientation (Lemma
+  3.3): H-partition, *legal* coloring of every level, then orient each edge
+  towards the lexicographically larger (level, color).  Out-degree
+  ⌊(2+ε)a⌋, length O(a log n).
+* :func:`partial_orientation` — Procedure Partial-Orientation (Algorithm 1,
+  Theorem 3.5): identical, but the levels are colored *defectively* (far
+  faster), and edges joining same-level same-color vertices stay
+  unoriented.  Out-degree ⌊(2+ε)a⌋, length O(t² log n), deficit ⌊a/t⌋,
+  all in O(log n) rounds.  This is the paper's key new tool: trading a
+  little deficit for an exponentially shorter orientation.
+* :func:`complete_from_partial` — Lemma 3.1: any acyclic partial
+  orientation extends to a complete acyclic one via a topological sort
+  (centralized utility, used in the arboricity-certification argument).
+* :func:`orientation_greedy_coloring` — Appendix A / the engine of Lemma
+  2.2(1): along a complete acyclic orientation of out-degree k, every
+  vertex waits for its parents and picks the smallest free color, giving a
+  legal (k+1)-coloring in length+1 rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameterError, SimulationError
+from ..graphs.graph import Graph
+from ..simulator.context import NodeContext
+from ..simulator.network import SynchronousNetwork
+from ..simulator.program import NodeProgram
+from ..types import (
+    ColorAssignment,
+    HPartition,
+    Orientation,
+    Vertex,
+    canonical_edge,
+)
+from .color_reduction import delta_plus_one_coloring
+from .defective import kuhn_defective_coloring
+from .hpartition import compute_hpartition, degree_threshold
+
+
+class _OrientationExchangeProgram(NodeProgram):
+    """One-round exchange of (level, color); each node orients its edges.
+
+    Output per node: dict ``neighbor -> head`` covering every incident edge
+    the node could orient (both endpoints compute the same head because the
+    rule is symmetric in the exchanged keys).
+    """
+
+    def __init__(self, key_of: Callable[[Vertex], Tuple[int, int]], partial: bool):
+        self._key_of = key_of
+        self._partial = partial
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast(self._key_of(ctx.node))
+
+    def on_round(self, ctx: NodeContext) -> None:
+        my_level, my_color = self._key_of(ctx.node)
+        heads: Dict[Vertex, Vertex] = {}
+        for u, (lvl, col) in ctx.inbox.items():
+            if lvl != my_level:
+                heads[u] = u if lvl > my_level else ctx.node
+            elif col != my_color:
+                heads[u] = u if col > my_color else ctx.node
+            elif not self._partial:
+                raise SimulationError(
+                    f"complete orientation: neighbours {ctx.node} and {u} "
+                    "share level and color — the level coloring is not legal"
+                )
+            # same level, same color, partial mode: leave unoriented
+        ctx.halt(heads)
+
+
+def _assemble_orientation(outputs: Mapping[Vertex, Dict[Vertex, Vertex]]) -> Dict:
+    direction = {}
+    for v, heads in outputs.items():
+        for u, head in heads.items():
+            direction[canonical_edge(v, u)] = head
+    return direction
+
+
+def complete_orientation(
+    network: SynchronousNetwork,
+    a: int,
+    epsilon: float = 0.5,
+    *,
+    participants=None,
+    part_of=None,
+    hpartition: Optional[HPartition] = None,
+) -> Orientation:
+    """Procedure Complete-Orientation (Lemma 3.3).
+
+    Produces a complete acyclic orientation with out-degree ≤ ⌊(2+ε)a⌋ and
+    length O(a log n).  Round cost: O(log n) for the H-partition plus the
+    per-level legal coloring (O(a log a + log* n) with our Δ+1 pipeline)
+    plus one exchange round.
+    """
+    if hpartition is None:
+        hpartition = compute_hpartition(
+            network, a, epsilon, participants=participants, part_of=part_of
+        )
+    threshold = hpartition.degree_bound
+    level_parts = {
+        v: ((part_of.get(v) if part_of is not None else None), lvl)
+        for v, lvl in hpartition.index.items()
+    }
+    level_coloring = delta_plus_one_coloring(
+        network,
+        threshold,
+        participants=hpartition.index.keys(),
+        part_of=level_parts,
+    )
+    key_of = lambda v: (hpartition.index[v], level_coloring.colors[v])
+    result = network.run(
+        lambda: _OrientationExchangeProgram(key_of, partial=False),
+        participants=hpartition.index.keys(),
+        part_of=part_of,
+        global_params={"a": a, "epsilon": epsilon},
+    )
+    rounds = hpartition.rounds + level_coloring.rounds + result.rounds
+    return Orientation(
+        direction=_assemble_orientation(result.outputs),
+        rounds=rounds,
+        algorithm="complete-orientation",
+        params={
+            "a": a,
+            "epsilon": epsilon,
+            "out_degree_bound": threshold,
+            "level_colors": level_coloring.params.get("degree_bound", threshold) + 1,
+            "num_levels": hpartition.num_levels,
+        },
+    )
+
+
+def partial_orientation(
+    network: SynchronousNetwork,
+    a: int,
+    t: int,
+    epsilon: float = 0.5,
+    *,
+    participants=None,
+    part_of=None,
+    hpartition: Optional[HPartition] = None,
+) -> Orientation:
+    """Procedure Partial-Orientation (Algorithm 1, Theorem 3.5).
+
+    Produces an acyclic partial orientation with out-degree ≤ ⌊(2+ε)a⌋,
+    deficit ≤ ⌊a/t⌋ and length O(t² log n), in O(log n) rounds.
+
+    The defective coloring of every level uses Kuhn's parameter
+    ``p = ⌈(2+ε)·t⌉`` so that the defect ⌊Δ_level/p⌋ ≤ ⌊a/t⌋ — the defect
+    of the level coloring is exactly what becomes the orientation's
+    deficit.
+    """
+    if t < 1:
+        raise InvalidParameterError(f"partial_orientation: t must be >= 1, got {t}")
+    if hpartition is None:
+        hpartition = compute_hpartition(
+            network, a, epsilon, participants=participants, part_of=part_of
+        )
+    threshold = hpartition.degree_bound
+    p = max(1, math.ceil((2.0 + epsilon) * t))
+    level_parts = {
+        v: ((part_of.get(v) if part_of is not None else None), lvl)
+        for v, lvl in hpartition.index.items()
+    }
+    level_coloring = kuhn_defective_coloring(
+        network,
+        p,
+        max_degree=threshold,
+        participants=hpartition.index.keys(),
+        part_of=level_parts,
+    )
+    key_of = lambda v: (hpartition.index[v], level_coloring.colors[v])
+    result = network.run(
+        lambda: _OrientationExchangeProgram(key_of, partial=True),
+        participants=hpartition.index.keys(),
+        part_of=part_of,
+        global_params={"a": a, "t": t, "epsilon": epsilon},
+    )
+    rounds = hpartition.rounds + level_coloring.rounds + result.rounds
+    return Orientation(
+        direction=_assemble_orientation(result.outputs),
+        rounds=rounds,
+        algorithm="partial-orientation",
+        params={
+            "a": a,
+            "t": t,
+            "epsilon": epsilon,
+            "out_degree_bound": threshold,
+            "deficit_bound": a // t,
+            "level_color_space": level_coloring.params.get("final_color_space"),
+            "num_levels": hpartition.num_levels,
+        },
+    )
+
+
+def complete_from_partial(graph: Graph, orientation: Orientation) -> Orientation:
+    """Extend an acyclic partial orientation to a complete acyclic one.
+
+    Lemma 3.1: topologically sort the oriented sub-DAG and orient every
+    unoriented edge towards the endpoint appearing *later*.  Centralized
+    utility (the distributed algorithms never need the completion — only
+    the arboricity argument does).
+    """
+    order = _topological_order(graph, orientation)
+    pos = {v: i for i, v in enumerate(order)}
+    direction = dict(orientation.direction)
+    for (u, v) in graph.edges:
+        e = canonical_edge(u, v)
+        if e not in direction:
+            direction[e] = v if pos[v] > pos[u] else u
+    return Orientation(
+        direction=direction,
+        rounds=orientation.rounds,
+        algorithm=orientation.algorithm + "+completed",
+        params=dict(orientation.params),
+    )
+
+
+def _topological_order(graph: Graph, orientation: Orientation) -> List[Vertex]:
+    """Kahn's algorithm on the oriented sub-DAG; raises on a cycle."""
+    indeg = {v: 0 for v in graph.vertices}
+    children: Dict[Vertex, List[Vertex]] = {v: [] for v in graph.vertices}
+    for e, head in orientation.direction.items():
+        u, v = e
+        tail = u if head == v else v
+        # tail -> head
+        children[tail].append(head)
+        indeg[head] += 1
+    frontier = sorted(v for v, d in indeg.items() if d == 0)
+    order: List[Vertex] = []
+    import heapq
+
+    heap = list(frontier)
+    heapq.heapify(heap)
+    while heap:
+        v = heapq.heappop(heap)
+        order.append(v)
+        for u in children[v]:
+            indeg[u] -= 1
+            if indeg[u] == 0:
+                heapq.heappush(heap, u)
+    if len(order) != graph.n:
+        raise SimulationError("orientation contains a directed cycle")
+    return order
+
+
+class _OrientationGreedyProgram(NodeProgram):
+    """Wait for all parents, then take the smallest color they don't use.
+
+    Requires a *complete* acyclic orientation: legality holds because every
+    edge has a parent/child relation and the child always avoids the
+    parent's color.  Appendix A's (ℓ+1)-coloring is the variant where a
+    vertex simply takes the round number as its color; picking the smallest
+    free color instead needs only out_degree+1 colors (Lemma 2.2(1)).
+    """
+
+    def __init__(self, parents_of: Callable[[Vertex], Sequence[Vertex]], palette: int):
+        self._parents_of = parents_of
+        self._palette = palette
+        self._parent_colors: Dict[Vertex, int] = {}
+        self._parents: frozenset = frozenset()
+
+    def _decide(self, ctx: NodeContext) -> None:
+        used = set(self._parent_colors.values())
+        color = next((c for c in range(self._palette) if c not in used), None)
+        if color is None:
+            raise SimulationError(
+                f"node {ctx.node}: palette of size {self._palette} exhausted "
+                f"by {len(self._parents)} parents — out-degree bound violated"
+            )
+        ctx.broadcast(color)
+        ctx.halt(color)
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._parents = frozenset(self._parents_of(ctx.node))
+        unknown = self._parents - set(ctx.neighbors)
+        if unknown:
+            raise SimulationError(
+                f"node {ctx.node}: parents {sorted(unknown)} are not visible "
+                "neighbours"
+            )
+        if not self._parents:
+            self._decide(ctx)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        for sender, payload in ctx.inbox.items():
+            if sender in self._parents:
+                self._parent_colors[sender] = payload
+        if len(self._parent_colors) == len(self._parents):
+            self._decide(ctx)
+
+
+def orientation_greedy_coloring(
+    network: SynchronousNetwork,
+    orientation: Orientation,
+    out_degree_bound: int,
+    *,
+    participants=None,
+    part_of=None,
+) -> ColorAssignment:
+    """Legal (k+1)-coloring along a complete acyclic orientation of
+    out-degree ≤ k, in ≤ length+1 rounds (Appendix A / Lemma 2.2(1))."""
+    if out_degree_bound < 0:
+        raise InvalidParameterError("out_degree_bound must be >= 0")
+    graph = network.graph
+    active = set(participants) if participants is not None else set(graph.vertices)
+
+    def parents_of(v: Vertex) -> List[Vertex]:
+        if part_of is not None:
+            label = part_of.get(v)
+            nbrs = [
+                u
+                for u in graph.neighbors(v)
+                if u in active and part_of.get(u) == label
+            ]
+        else:
+            nbrs = [u for u in graph.neighbors(v) if u in active]
+        return orientation.parents_of(v, nbrs)
+
+    result = network.run(
+        lambda: _OrientationGreedyProgram(parents_of, out_degree_bound + 1),
+        participants=participants,
+        part_of=part_of,
+        global_params={"palette": out_degree_bound + 1},
+    )
+    return ColorAssignment(
+        colors=dict(result.outputs),
+        rounds=result.rounds,
+        algorithm="orientation-greedy",
+        params={"out_degree_bound": out_degree_bound},
+    )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses distinguish the three
+places errors can originate:
+
+* :class:`SimulationError` — the synchronous round simulator detected a
+  protocol violation (message sent to a non-neighbour, program never halting
+  within its round budget, ...).
+* :class:`InvalidParameterError` — an algorithm was invoked with parameters
+  outside its domain (``t < 1``, arboricity bound smaller than 1, ...).
+* :class:`VerificationError` — a guarantee checker in :mod:`repro.verify`
+  found a violated invariant (an illegal coloring, a cyclic "acyclic"
+  orientation, ...).  These indicate bugs and are raised eagerly by the
+  ``check_*`` helpers; the ``is_*``/``*_report`` helpers return data instead.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """A node program violated the rules of the LOCAL model simulator."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """A simulation did not terminate within its allotted round budget.
+
+    The simulator enforces an explicit bound so that a buggy node program
+    (e.g. one that never halts) surfaces as a crisp exception instead of an
+    infinite loop.
+    """
+
+    def __init__(self, limit: int, still_running: int):
+        self.limit = limit
+        self.still_running = still_running
+        super().__init__(
+            f"simulation exceeded the round limit of {limit} rounds "
+            f"({still_running} node(s) still running)"
+        )
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its valid domain."""
+
+
+class VerificationError(ReproError, AssertionError):
+    """A checked invariant does not hold."""

@@ -1,0 +1,12 @@
+"""Explicit set-system machinery: primes and GF(q) polynomial families."""
+
+from .polynomial import PolynomialFamily, select_family
+from .primes import integer_nth_root, is_prime, next_prime
+
+__all__ = [
+    "PolynomialFamily",
+    "select_family",
+    "is_prime",
+    "next_prime",
+    "integer_nth_root",
+]

@@ -1,0 +1,67 @@
+"""Primality testing and prime search for the function-family constructions.
+
+The polynomial families of :mod:`repro.families.polynomial` live over GF(q)
+for a prime q; the recoloring engine repeatedly needs "the smallest prime
+at least x" for x up to a few million.  Deterministic Miller–Rabin with the
+standard witness set is exact for all 64-bit integers, which is far beyond
+anything the algorithms request.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+
+# Witnesses proven sufficient for n < 3,317,044,064,679,887,385,961,981
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin primality test (exact for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MILLER_RABIN_WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime ``>= n`` (and >= 2)."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def integer_nth_root(x: int, k: int) -> int:
+    """⌊x^(1/k)⌋ computed exactly with integer arithmetic."""
+    if x < 0 or k < 1:
+        raise InvalidParameterError("integer_nth_root: need x >= 0 and k >= 1")
+    if x in (0, 1) or k == 1:
+        return x
+    # Newton iteration with a float seed, then exact fix-up.
+    r = int(round(x ** (1.0 / k)))
+    while r > 1 and r**k > x:
+        r -= 1
+    while (r + 1) ** k <= x:
+        r += 1
+    return r

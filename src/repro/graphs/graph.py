@@ -1,0 +1,190 @@
+"""A small immutable undirected-graph type used throughout the library.
+
+The distributed algorithms in :mod:`repro.core` run on a
+:class:`~repro.simulator.network.SynchronousNetwork`, which is built from a
+:class:`Graph`.  We deliberately do not use :mod:`networkx` graphs internally:
+the simulator's hot loop touches adjacency lists millions of times and the
+plain-``dict``-of-``tuple`` representation here is several times faster, and a
+frozen graph makes it impossible for an algorithm to accidentally mutate the
+topology mid-simulation.  Conversion helpers to and from networkx are
+provided for the generators and for user interop.
+
+Vertices are integers with unique ids, matching the LOCAL model's assumption
+of unique identities.  Ids need not be contiguous (induced subgraphs keep the
+original ids), but :func:`repro.graphs.generators` always produce ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+from ..types import Edge, Vertex, canonical_edge
+
+
+class Graph:
+    """An immutable, simple, undirected graph with integer vertex ids."""
+
+    __slots__ = ("_vertices", "_adjacency", "_edges", "_vertex_set")
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        edges: Iterable[Tuple[Vertex, Vertex]],
+    ):
+        vset = set()
+        for v in vertices:
+            if not isinstance(v, int):
+                raise InvalidParameterError(f"vertex ids must be ints, got {v!r}")
+            vset.add(v)
+        adjacency: Dict[Vertex, set] = {v: set() for v in vset}
+        edge_set = set()
+        for u, v in edges:
+            if u == v:
+                raise InvalidParameterError(f"self-loop at vertex {u} not allowed")
+            if u not in adjacency or v not in adjacency:
+                raise InvalidParameterError(
+                    f"edge ({u}, {v}) references a vertex not in the vertex set"
+                )
+            e = canonical_edge(u, v)
+            if e in edge_set:
+                continue  # ignore duplicate edges: the graph is simple
+            edge_set.add(e)
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._vertices: Tuple[Vertex, ...] = tuple(sorted(vset))
+        self._vertex_set = frozenset(vset)
+        self._adjacency: Dict[Vertex, Tuple[Vertex, ...]] = {
+            v: tuple(sorted(nbrs)) for v, nbrs in adjacency.items()
+        }
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Tuple[Vertex, ...]:
+        """All vertex ids, sorted ascending."""
+        return self._vertices
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges in canonical ``(min, max)`` form, sorted."""
+        return self._edges
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._vertices)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def neighbors(self, v: Vertex) -> Tuple[Vertex, ...]:
+        """The sorted neighbours of ``v``."""
+        return self._adjacency[v]
+
+    def degree(self, v: Vertex) -> int:
+        """The degree of ``v``."""
+        return len(self._adjacency[v])
+
+    @property
+    def max_degree(self) -> int:
+        """Δ, the maximum degree (0 for the empty graph)."""
+        if not self._vertices:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True when ``(u, v)`` is an edge."""
+        return v in self._adjacency.get(u, ())
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """True when ``v`` is a vertex of the graph."""
+        return v in self._vertex_set
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._vertex_set
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._vertices == other._vertices and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._vertices, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """The subgraph induced by ``vertices`` (original ids are kept)."""
+        keep = set(vertices)
+        missing = keep - self._vertex_set
+        if missing:
+            raise InvalidParameterError(
+                f"induced_subgraph: vertices {sorted(missing)[:5]} not in graph"
+            )
+        edges = [
+            (u, v) for (u, v) in self._edges if u in keep and v in keep
+        ]
+        return Graph(keep, edges)
+
+    def subgraph_of_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> "Graph":
+        """The subgraph with the same vertex set but only the given edges."""
+        es = list(edges)
+        for u, v in es:
+            if not self.has_edge(u, v):
+                raise InvalidParameterError(
+                    f"subgraph_of_edges: ({u}, {v}) is not an edge of the graph"
+                )
+        return Graph(self._vertices, es)
+
+    def relabeled(self) -> Tuple["Graph", Dict[Vertex, Vertex]]:
+        """Return a copy with vertices relabeled to ``0..n-1``.
+
+        Returns the new graph and the mapping ``old_id -> new_id``.
+        """
+        mapping = {v: i for i, v in enumerate(self._vertices)}
+        edges = [(mapping[u], mapping[v]) for (u, v) in self._edges]
+        return Graph(range(self.n), edges), mapping
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, nxg) -> "Graph":
+        """Build a :class:`Graph` from a networkx graph with int node ids."""
+        return cls(nxg.nodes(), nxg.edges())
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._vertices)
+        g.add_edges_from(self._edges)
+        return g
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Vertex, Vertex]]) -> "Graph":
+        """Build a graph whose vertex set is exactly the edge endpoints."""
+        es = list(edges)
+        vertices = {u for e in es for u in e}
+        return cls(vertices, es)
+
+    @classmethod
+    def empty(cls, n: int) -> "Graph":
+        """The edgeless graph on vertices ``0..n-1``."""
+        return cls(range(n), [])

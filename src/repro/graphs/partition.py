@@ -1,0 +1,81 @@
+"""Vertex-partition utilities.
+
+The paper's recursions constantly refine vertex partitions ("run in
+parallel on every part, split each part further").  These helpers keep
+that bookkeeping uniform: combining a caller's partition with a new
+labeling, dense relabeling, and building induced part subgraphs for
+verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import InvalidParameterError
+from ..types import Vertex
+from .graph import Graph
+
+
+def refine_partition(
+    base: Optional[Mapping[Vertex, Hashable]],
+    labels: Mapping[Vertex, Hashable],
+) -> Dict[Vertex, Tuple[Hashable, Hashable]]:
+    """Refine ``base`` with ``labels``: part(v) = (base(v), labels(v)).
+
+    ``base`` may be ``None`` (no outer partition).  The result is keyed by
+    the vertices of ``labels`` — the participants of the current phase.
+    """
+    return {
+        v: ((base.get(v) if base is not None else None), lab)
+        for v, lab in labels.items()
+    }
+
+
+def dense_relabel(labels: Mapping[Vertex, Hashable]) -> Dict[Vertex, int]:
+    """Map arbitrary part labels to the compact range 0..k-1.
+
+    Relabeling is deterministic: labels are ordered by their sorted repr,
+    so two runs over the same input agree.
+    """
+    distinct = sorted({repr(l) for l in labels.values()})
+    index = {r: i for i, r in enumerate(distinct)}
+    return {v: index[repr(l)] for v, l in labels.items()}
+
+
+def parts_of(labels: Mapping[Vertex, Hashable]) -> Dict[Hashable, List[Vertex]]:
+    """Group vertices by part label."""
+    out: Dict[Hashable, List[Vertex]] = {}
+    for v, lab in labels.items():
+        out.setdefault(lab, []).append(v)
+    return out
+
+
+def part_subgraphs(
+    graph: Graph, labels: Mapping[Vertex, Hashable]
+) -> Dict[Hashable, Graph]:
+    """Induced subgraph of every part (centralized, for verification)."""
+    return {
+        lab: graph.induced_subgraph(vs) for lab, vs in parts_of(labels).items()
+    }
+
+
+def check_is_partition(
+    vertices: Iterable[Vertex], labels: Mapping[Vertex, Hashable]
+) -> None:
+    """Raise unless every vertex carries a label."""
+    missing = [v for v in vertices if v not in labels]
+    if missing:
+        raise InvalidParameterError(
+            f"partition misses {len(missing)} vertices (e.g. {missing[:5]})"
+        )
+
+
+def cross_part_edges(
+    graph: Graph, labels: Mapping[Vertex, Hashable]
+) -> List[Tuple[Vertex, Vertex]]:
+    """Edges whose endpoints lie in different parts."""
+    return [
+        (u, v)
+        for (u, v) in graph.edges
+        if labels.get(u) != labels.get(v)
+    ]

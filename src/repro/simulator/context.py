@@ -1,0 +1,105 @@
+"""Per-node execution context for node programs.
+
+A :class:`NodeContext` is the *only* interface a node program has to the
+world, and it enforces the information constraints of the LOCAL model:
+
+* the node knows its own id, its (visible) neighbours' ids, and whatever
+  globally-announced parameters the run was started with (``n``, the
+  arboricity bound, ε, ...) — exactly what the paper assumes;
+* it can send one message per neighbour per round and read the messages that
+  arrived at the *start* of the current round;
+* it cannot inspect any other node's state.
+
+Neighbour visibility is how the library realises the paper's "recurse in
+parallel on all subgraphs": when an algorithm runs restricted to a vertex
+part, each node's context only exposes the neighbours inside the same part,
+so the program is literally executing on the induced subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import SimulationError
+from ..types import Vertex
+
+
+class NodeContext:
+    """The world as seen by one node during one run of a node program."""
+
+    __slots__ = (
+        "node",
+        "neighbors",
+        "globals",
+        "inbox",
+        "_outbox",
+        "_halted",
+        "output",
+        "_neighbor_set",
+        "round_number",
+    )
+
+    def __init__(
+        self,
+        node: Vertex,
+        neighbors: Tuple[Vertex, ...],
+        global_params: Mapping[str, Any],
+    ):
+        self.node = node
+        self.neighbors = neighbors
+        self._neighbor_set = frozenset(neighbors)
+        self.globals = global_params
+        #: messages received at the start of the current round: sender -> payload
+        self.inbox: Dict[Vertex, Any] = {}
+        self._outbox: List[Tuple[Vertex, Any]] = []
+        self._halted = False
+        self.output: Any = None
+        self.round_number = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """The node's degree in the (visible) graph."""
+        return len(self.neighbors)
+
+    @property
+    def halted(self) -> bool:
+        """True once the node has called :meth:`halt`."""
+        return self._halted
+
+    # ------------------------------------------------------------------
+    def send(self, to: Vertex, payload: Any) -> None:
+        """Queue a message to the neighbour ``to`` for delivery next round.
+
+        Sending to a non-neighbour is a protocol violation and raises
+        :class:`~repro.errors.SimulationError` — there is no routing in the
+        LOCAL model.
+        """
+        if to not in self._neighbor_set:
+            raise SimulationError(
+                f"node {self.node} tried to send to non-neighbour {to}"
+            )
+        self._outbox.append((to, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue the same message to every visible neighbour."""
+        for u in self.neighbors:
+            self._outbox.append((u, payload))
+
+    def halt(self, output: Any = None) -> None:
+        """Stop participating; record ``output`` as the node's result.
+
+        Messages queued in the same activation are still delivered (a node
+        may announce its final decision and halt in the same round).  After
+        halting the node is never activated again and incoming messages are
+        dropped.
+        """
+        self._halted = True
+        self.output = output
+
+    # ------------------------------------------------------------------
+    def drain_outbox(self) -> List[Tuple[Vertex, Any]]:
+        """Internal: hand queued messages to the simulator and clear them."""
+        out = self._outbox
+        self._outbox = []
+        return out

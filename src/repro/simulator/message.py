@@ -1,0 +1,55 @@
+"""Message envelopes and size accounting for the round simulator.
+
+The LOCAL model places no bound on message size, but one of the things a
+reproduction should surface is *how much* information the paper's algorithms
+actually move around — most of them are frugal (a color, an H-index, a small
+tuple).  The simulator therefore wraps every payload in an
+:class:`Envelope` recording sender and destination, and estimates payload
+size in bytes with :func:`payload_size`.
+
+Payloads must be treated as immutable by receivers: the simulator passes the
+object by reference (copying every message would dominate the runtime of
+large simulations), so a program that mutated a received payload would
+corrupt its neighbour's state.  All built-in programs send ints and tuples,
+which are immutable anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..types import Vertex
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A single point-to-point message in one synchronous round."""
+
+    sender: Vertex
+    dest: Vertex
+    payload: Any
+
+
+def payload_size(payload: Any) -> int:
+    """Estimate the size of a payload in bytes.
+
+    This is a proxy (the repr length for compound objects, proper bit-length
+    for ints), good enough to compare the communication volume of different
+    algorithms; it is not a wire format.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, (payload.bit_length() + 7) // 8)
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_size(item) for item in payload) + 1
+    if isinstance(payload, dict):
+        return (
+            sum(payload_size(k) + payload_size(v) for k, v in payload.items()) + 1
+        )
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    return len(repr(payload))

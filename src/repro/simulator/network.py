@@ -1,0 +1,204 @@
+"""The synchronous message-passing network (the LOCAL model substrate).
+
+:class:`SynchronousNetwork` executes node programs in discrete rounds, the
+model of Peleg's book and of the paper: *"computations proceed in discrete
+rounds; in each round each vertex is allowed to send a message to each of its
+neighbors; all messages sent in a round arrive before the next round
+starts"*.
+
+Round accounting matches the paper's definition of running time: the number
+of communication rounds that elapse until every participating node halts.  A
+protocol in which every node decides locally and halts without communicating
+costs 0 rounds.
+
+Parallel composition on subgraphs
+---------------------------------
+
+The paper's recursive procedures run "in parallel on all subgraphs" of a
+vertex partition.  :meth:`SynchronousNetwork.run` accepts a ``part_of``
+labeling; when given, each node only *sees* (and can only message) neighbours
+with the same label, i.e. the program executes on every induced subgraph
+simultaneously within a single global round loop — so the measured round
+count is the max over parts, exactly like real parallel execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import RoundLimitExceeded, SimulationError
+from ..graphs.graph import Graph
+from ..types import Vertex
+from .context import NodeContext
+from .message import payload_size
+from .program import NodeProgram
+
+#: Factory producing one fresh program instance per node.
+ProgramFactory = Callable[[], NodeProgram]
+
+#: Default cap on rounds; generous enough for every algorithm in the library
+#: on any reasonable input while still catching non-terminating programs.
+DEFAULT_ROUND_LIMIT_FACTOR = 50
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run of a node program."""
+
+    outputs: Dict[Vertex, Any]
+    rounds: int
+    messages: int
+    message_bytes: int
+    max_message_bytes: int = 0
+
+    def merged_with(self, other: "RunResult") -> "RunResult":
+        """Combine two runs executed sequentially (rounds add)."""
+        outputs = dict(self.outputs)
+        outputs.update(other.outputs)
+        return RunResult(
+            outputs=outputs,
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            message_bytes=self.message_bytes + other.message_bytes,
+            max_message_bytes=max(self.max_message_bytes, other.max_message_bytes),
+        )
+
+
+class SynchronousNetwork:
+    """A network of processors, one per vertex of an undirected graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program_factory: ProgramFactory,
+        *,
+        global_params: Optional[Mapping[str, Any]] = None,
+        participants: Optional[Iterable[Vertex]] = None,
+        part_of: Optional[Mapping[Vertex, Any]] = None,
+        round_limit: Optional[int] = None,
+        count_bytes: bool = False,
+        trace: Optional["MessageTrace"] = None,
+    ) -> RunResult:
+        """Execute one node program to completion on (a subgraph of) the net.
+
+        Parameters
+        ----------
+        program_factory:
+            Zero-argument callable returning a fresh :class:`NodeProgram`
+            for each participating node.
+        global_params:
+            Globally-known parameters exposed to every node via
+            ``ctx.globals`` (``n`` is added automatically).
+        participants:
+            Vertices that take part; defaults to all vertices.  Non-
+            participants neither run programs nor receive messages, and are
+            invisible to participants' contexts.
+        part_of:
+            Optional vertex labeling.  When given, a node only sees
+            neighbours with the same label — the program runs on every
+            induced part in parallel.
+        round_limit:
+            Maximum number of rounds before
+            :class:`~repro.errors.RoundLimitExceeded` is raised.  Defaults to
+            ``DEFAULT_ROUND_LIMIT_FACTOR * n + 1000``.
+        count_bytes:
+            When true, payload sizes are estimated (slower); otherwise only
+            message counts are tracked.
+        trace:
+            Optional :class:`~repro.simulator.tracing.MessageTrace` that
+            records every message (round, endpoints, payload, size).
+        """
+        graph = self.graph
+        if participants is None:
+            active_set = set(graph.vertices)
+        else:
+            active_set = set(participants)
+            for v in active_set:
+                if not graph.has_vertex(v):
+                    raise SimulationError(f"participant {v} is not a vertex")
+        if round_limit is None:
+            round_limit = DEFAULT_ROUND_LIMIT_FACTOR * max(1, graph.n) + 1000
+
+        gp: Dict[str, Any] = dict(global_params or {})
+        gp.setdefault("n", graph.n)
+
+        # Build contexts with visibility filtered to participants (and to the
+        # same part when a labeling is given).
+        contexts: Dict[Vertex, NodeContext] = {}
+        programs: Dict[Vertex, NodeProgram] = {}
+        for v in sorted(active_set):
+            if part_of is not None:
+                label = part_of.get(v)
+                visible = tuple(
+                    u
+                    for u in graph.neighbors(v)
+                    if u in active_set and part_of.get(u) == label
+                )
+            else:
+                visible = tuple(u for u in graph.neighbors(v) if u in active_set)
+            contexts[v] = NodeContext(v, visible, gp)
+            programs[v] = program_factory()
+
+        running = set(active_set)
+        messages = 0
+        message_bytes = 0
+        max_message_bytes = 0
+        # pending[dest] = {sender: payload} for the next round
+        pending: Dict[Vertex, Dict[Vertex, Any]] = {}
+
+        current_round = 0
+
+        def dispatch(sender: Vertex, ctx: NodeContext) -> None:
+            nonlocal messages, message_bytes, max_message_bytes
+            for dest, payload in ctx.drain_outbox():
+                messages += 1
+                if count_bytes:
+                    size = payload_size(payload)
+                    message_bytes += size
+                    if size > max_message_bytes:
+                        max_message_bytes = size
+                if trace is not None:
+                    trace.record(current_round, sender, dest, payload)
+                pending.setdefault(dest, {})[sender] = payload
+
+        # Round 0: on_start for everyone, no inbound messages yet.
+        for v in sorted(active_set):
+            ctx = contexts[v]
+            programs[v].on_start(ctx)
+            dispatch(v, ctx)
+            if ctx.halted:
+                running.discard(v)
+
+        rounds = 0
+        while running:
+            if rounds >= round_limit:
+                raise RoundLimitExceeded(round_limit, len(running))
+            rounds += 1
+            current_round = rounds
+            delivery = pending
+            pending = {}
+            # Activate nodes in id order for determinism; order cannot matter
+            # semantically because all sends land in the *next* round.
+            for v in sorted(running):
+                ctx = contexts[v]
+                ctx.inbox = delivery.get(v, {})
+                ctx.round_number = rounds
+                programs[v].on_round(ctx)
+                dispatch(v, ctx)
+            for v in list(running):
+                if contexts[v].halted:
+                    running.discard(v)
+            # Messages addressed to halted nodes are dropped silently.
+
+        outputs = {v: contexts[v].output for v in active_set}
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            messages=messages,
+            message_bytes=message_bytes,
+            max_message_bytes=max_message_bytes,
+        )

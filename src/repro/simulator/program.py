@@ -1,0 +1,64 @@
+"""The node-program abstraction.
+
+A distributed algorithm in this library is a *node program*: a class whose
+instances run, one per vertex, on the synchronous network.  The simulator
+activates every (still-running) instance once per round; instances
+communicate only through the messages they queue on their
+:class:`~repro.simulator.context.NodeContext`.
+
+Lifecycle
+---------
+
+1. ``on_start(ctx)`` is called once, before any communication.  The node may
+   send messages and may already halt (e.g. a source vertex that decides
+   immediately).
+2. For every subsequent round, ``on_round(ctx)`` is called with ``ctx.inbox``
+   holding the messages delivered at the start of that round.
+3. The run ends when every participating node has halted.  ``ctx.output`` is
+   collected as the node's result.
+
+State belongs on the program instance (``self``): each vertex has its own
+instance, so instance attributes are exactly the node's local memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .context import NodeContext
+
+
+class NodeProgram:
+    """Base class for per-node distributed programs.
+
+    Subclasses override :meth:`on_start` and :meth:`on_round`.  The default
+    implementations do nothing, which makes a node that never halts — always
+    override at least enough to eventually call ``ctx.halt()``.
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Round-0 activation, before any message has been exchanged."""
+
+    def on_round(self, ctx: NodeContext) -> None:
+        """Per-round activation; ``ctx.inbox`` holds this round's messages."""
+
+
+class FunctionProgram(NodeProgram):
+    """Adapter turning a pair of callables into a :class:`NodeProgram`.
+
+    Useful for tests and tiny protocols::
+
+        prog = lambda: FunctionProgram(start=lambda ctx: ctx.halt(ctx.node))
+    """
+
+    def __init__(self, start=None, round=None):
+        self._start = start
+        self._round = round
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self._start is not None:
+            self._start(ctx)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        if self._round is not None:
+            self._round(ctx)

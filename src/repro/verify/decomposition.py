@@ -1,0 +1,84 @@
+"""Verification of H-partitions, forests decompositions, and MIS results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+from ..errors import VerificationError
+from ..graphs.arboricity import is_forest
+from ..graphs.graph import Graph
+from ..types import ForestsDecomposition, HPartition, Vertex, canonical_edge
+
+
+def check_hpartition(graph: Graph, hp: HPartition) -> None:
+    """Assert the defining property of an H-partition (Section 2.2):
+    every vertex of ``H_i`` has at most ``degree_bound`` neighbours in
+    ``H_i ∪ ... ∪ H_ℓ``."""
+    idx = hp.index
+    for v in graph.vertices:
+        if v not in idx:
+            raise VerificationError(f"vertex {v} has no H-index")
+    for v in graph.vertices:
+        higher = [u for u in graph.neighbors(v) if idx[u] >= idx[v]]
+        if len(higher) > hp.degree_bound:
+            raise VerificationError(
+                f"vertex {v} (level {idx[v]}) has {len(higher)} neighbours "
+                f"at its level or above (> {hp.degree_bound})"
+            )
+
+
+def check_forests_decomposition(graph: Graph, fd: ForestsDecomposition) -> None:
+    """Assert every edge has a forest, forests are edge-disjoint by
+    construction, each is acyclic, and each vertex has ≤ 1 parent per
+    forest."""
+    for (u, v) in graph.edges:
+        if canonical_edge(u, v) not in fd.forest_of:
+            raise VerificationError(f"edge ({u}, {v}) has no forest label")
+    by_forest: Dict[int, List] = {}
+    for e, f in fd.forest_of.items():
+        if not graph.has_edge(*e):
+            raise VerificationError(f"forest label on non-edge {e}")
+        if not (0 <= f < fd.num_forests):
+            raise VerificationError(f"forest label {f} out of range")
+        by_forest.setdefault(f, []).append(e)
+    for f, edges in by_forest.items():
+        sub = graph.subgraph_of_edges(edges)
+        if not is_forest(sub):
+            raise VerificationError(f"forest {f} contains a cycle")
+        parents: Dict[Vertex, int] = {}
+        for (u, v) in edges:
+            head = fd.orientation.head(u, v)
+            if head is None:
+                raise VerificationError(f"forest edge ({u}, {v}) unoriented")
+            tail = u if head == v else v
+            parents[tail] = parents.get(tail, 0) + 1
+            if parents[tail] > 1:
+                raise VerificationError(
+                    f"vertex {tail} has two parents in forest {f}"
+                )
+
+
+def check_mis(graph: Graph, members: Set[Vertex]) -> None:
+    """Assert independence and maximality."""
+    for (u, v) in graph.edges:
+        if u in members and v in members:
+            raise VerificationError(
+                f"MIS contains both endpoints of edge ({u}, {v})"
+            )
+    for v in graph.vertices:
+        if v in members:
+            continue
+        if not any(u in members for u in graph.neighbors(v)):
+            raise VerificationError(
+                f"vertex {v} is outside the MIS but has no MIS neighbour "
+                "(not maximal)"
+            )
+
+
+def check_partition_covers(
+    graph: Graph, label: Mapping[Vertex, object]
+) -> None:
+    """Assert a vertex labeling covers the whole vertex set."""
+    for v in graph.vertices:
+        if v not in label:
+            raise VerificationError(f"vertex {v} has no part label")

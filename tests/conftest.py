@@ -1,0 +1,70 @@
+"""Shared fixtures: small graphs with known structure and their networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, SynchronousNetwork
+from repro.graphs import (
+    forest_union,
+    grid,
+    path,
+    planar_triangulation,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph(range(3), [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path5() -> Graph:
+    return path(5).graph
+
+
+@pytest.fixture
+def small_tree() -> Graph:
+    return random_tree(40, seed=7).graph
+
+
+@pytest.fixture
+def forest_graph():
+    """A forest-union instance with certified arboricity 3."""
+    return forest_union(n=120, a=3, seed=11)
+
+
+@pytest.fixture
+def forest_net(forest_graph) -> SynchronousNetwork:
+    return SynchronousNetwork(forest_graph.graph)
+
+
+@pytest.fixture
+def planar_graph():
+    return planar_triangulation(90, seed=5)
+
+
+@pytest.fixture
+def planar_net(planar_graph) -> SynchronousNetwork:
+    return SynchronousNetwork(planar_graph.graph)
+
+
+@pytest.fixture(
+    params=[
+        ("forest_union", lambda: forest_union(100, 3, seed=2)),
+        ("planar", lambda: planar_triangulation(80, seed=3)),
+        ("grid", lambda: grid(9, 9)),
+        ("ring", lambda: ring(60)),
+        ("tree", lambda: random_tree(80, seed=4)),
+        ("regular", lambda: random_regular(80, 6, seed=5)),
+        ("star", lambda: star(50)),
+    ],
+    ids=lambda p: p[0],
+)
+def family_graph(request):
+    """One representative of every standard graph family."""
+    return request.param[1]()

@@ -1,0 +1,101 @@
+"""Bound formulas, slope fitting, table rendering."""
+
+import math
+import os
+
+import pytest
+
+from repro.analysis import (
+    arbdefective_bound,
+    complete_orientation_length_bound,
+    fit_linear_slope,
+    fit_loglog_slope,
+    hpartition_levels_bound,
+    log2_ceil,
+    log_star,
+    partial_orientation_length_bound,
+    ratio_spread,
+    render_table,
+    theorem52_colors_bound,
+    theorem53_colors_bound,
+)
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(2) == 0
+        assert log_star(4) == 1
+        assert log_star(16) == 2
+        assert log_star(2**16) == 3
+        assert 4 <= log_star(2**65536) <= 5
+
+    def test_log2_ceil(self):
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(1024) == 10
+        assert log2_ceil(1025) == 11
+
+
+class TestBoundFormulas:
+    def test_hpartition_levels_monotone(self):
+        assert hpartition_levels_bound(100, 0.5) < hpartition_levels_bound(10_000, 0.5)
+        assert hpartition_levels_bound(1, 0.5) == 1.0
+
+    def test_lengths(self):
+        assert complete_orientation_length_bound(4, 100, 0.5) > 0
+        assert partial_orientation_length_bound(2, 100, 0.5) > 0
+        # the whole point: partial beats complete for small t, large a
+        assert partial_orientation_length_bound(
+            2, 1000, 0.5
+        ) < complete_orientation_length_bound(50, 1000, 0.5)
+
+    def test_arbdefective_formula(self):
+        assert arbdefective_bound(12, 4, 4, 0.5) == int(12 / 4 + 2.5 * 12 / 4)
+
+    def test_theorem_bounds(self):
+        assert theorem52_colors_bound(10, 5) == 20.0
+        assert theorem53_colors_bound(10, 3) == 30.0
+
+
+class TestSlopeFitting:
+    def test_power_law_recovered(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [x**1.7 for x in xs]
+        assert abs(fit_loglog_slope(xs, ys) - 1.7) < 1e-9
+
+    def test_linear_recovered(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [5 * x + 1 for x in xs]
+        assert abs(fit_linear_slope(xs, ys) - 5.0) < 1e-9
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_loglog_slope([2.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_linear_slope([1.0, 2.0], [1.0])
+
+    def test_ratio_spread(self):
+        assert ratio_spread([1.0, 2.0, 4.0]) == 4.0
+        assert ratio_spread([]) == 1.0
+
+
+class TestTables:
+    def test_render(self):
+        table = render_table(
+            "demo", ["x", "y"], [[1, 2.5], [30, 4.0]], note="hello"
+        )
+        assert "== demo ==" in table
+        assert "note: hello" in table
+        lines = table.splitlines()
+        assert len(lines) == 6
+        # aligned columns: header and rows share the separator width
+        assert len(lines[1]) == len(lines[2])
+
+    def test_float_formatting(self):
+        table = render_table("t", ["v"], [[0.0], [123.456], [1.23456]])
+        assert "0" in table
+        assert "123" in table
+        assert "1.23" in table

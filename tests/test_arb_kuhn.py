@@ -1,0 +1,106 @@
+"""Section 5: Arb-Kuhn decomposition and Theorems 5.2 / 5.3."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.core import (
+    arb_kuhn_decomposition,
+    theorem52_fast_coloring,
+    theorem53_tradeoff,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs import forest_union
+from repro.verify import check_arbdefective_coloring, check_legal_coloring
+
+
+class TestArbKuhnDecomposition:
+    def test_arbdefect_witnessed(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        a = family_graph.arboricity_bound
+        d = max(1, a // 2)
+        dec = arb_kuhn_decomposition(net, a, defect=d)
+        check_arbdefective_coloring(
+            family_graph.graph, dec.label, d, dec.params["orientation"]
+        )
+
+    def test_color_space_shrinks_with_defect(self):
+        g = forest_union(500, 16, seed=41)
+        net = SynchronousNetwork(g.graph)
+        strict = arb_kuhn_decomposition(net, 16, defect=1)
+        loose = arb_kuhn_decomposition(net, 16, defect=8)
+        assert loose.params["color_space"] <= strict.params["color_space"]
+
+    def test_fast_rounds(self):
+        """O(log n) rounds: H-partition + log* iterations, nothing
+        proportional to a or t²."""
+        g = forest_union(800, 12, seed=42)
+        net = SynchronousNetwork(g.graph)
+        dec = arb_kuhn_decomposition(net, 12, defect=3)
+        # generous: levels(≈log n) + exchange + log* iterations
+        assert dec.rounds <= 40
+
+    def test_zero_defect_legal(self):
+        g = forest_union(300, 4, seed=43)
+        net = SynchronousNetwork(g.graph)
+        dec = arb_kuhn_decomposition(net, 4, defect=0)
+        check_legal_coloring(g.graph, dec.label)
+
+    def test_invalid(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            arb_kuhn_decomposition(forest_net, 0, defect=1)
+        with pytest.raises(InvalidParameterError):
+            arb_kuhn_decomposition(forest_net, 3, defect=-1)
+
+
+class TestTheorem52:
+    def test_legal_coloring(self):
+        g = forest_union(400, 12, seed=44)
+        net = SynchronousNetwork(g.graph)
+        result = theorem52_fast_coloring(net, 12, d=4)
+        check_legal_coloring(g.graph, result.colors)
+
+    def test_colors_below_quadratic(self):
+        """The point of Thm 5.2: strictly below the a² of Linial-style
+        colorings once d = ω(1)."""
+        a = 16
+        g = forest_union(500, a, seed=45)
+        net = SynchronousNetwork(g.graph)
+        result = theorem52_fast_coloring(net, a, d=8)
+        assert result.num_colors < a * a
+
+    def test_params_recorded(self):
+        g = forest_union(200, 8, seed=46)
+        net = SynchronousNetwork(g.graph)
+        result = theorem52_fast_coloring(net, 8, d=2, eta=0.5)
+        assert result.params["d"] == 2
+        assert result.params["num_classes"] >= 1
+
+    def test_invalid_d(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            theorem52_fast_coloring(forest_net, 4, d=0)
+
+
+class TestTheorem53:
+    def test_legal_coloring_sweep_t(self):
+        a = 12
+        g = forest_union(400, a, seed=47)
+        net = SynchronousNetwork(g.graph)
+        for t in (1, 2, 4, 12):
+            result = theorem53_tradeoff(net, a, t=t)
+            check_legal_coloring(g.graph, result.colors)
+
+    def test_rounds_drop_as_t_grows(self):
+        """Larger t ⇒ smaller per-class arboricity ⇒ cheaper Legal-Coloring
+        per class: the (a/t)^µ·log n tradeoff."""
+        a = 16
+        g = forest_union(500, a, seed=48)
+        net = SynchronousNetwork(g.graph)
+        slow = theorem53_tradeoff(net, a, t=1)
+        fast = theorem53_tradeoff(net, a, t=8)
+        assert fast.rounds <= slow.rounds
+
+    def test_invalid_t(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            theorem53_tradeoff(forest_net, 4, t=0)
+        with pytest.raises(InvalidParameterError):
+            theorem53_tradeoff(forest_net, 4, t=5)

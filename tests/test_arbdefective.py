@@ -1,0 +1,106 @@
+"""Arbdefective colorings: Theorem 3.2 and Corollary 3.6."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.analysis import arbdefective_bound
+from repro.core import (
+    arbdefective_coloring,
+    partial_orientation,
+    simple_arbdefective,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs import forest_union, planar_triangulation
+from repro.verify import (
+    check_arbdefective_coloring,
+    orientation_length,
+)
+
+
+class TestSimpleArbdefective:
+    def test_theorem32_bounds(self, forest_graph, forest_net):
+        a = forest_graph.arboricity_bound
+        po = partial_orientation(forest_net, a, t=2)
+        out_bound = int(po.params["out_degree_bound"])
+        deficit = int(po.params["deficit_bound"])
+        for k in (2, 3, 5):
+            dec = simple_arbdefective(
+                forest_net, po, k,
+                out_degree_bound=out_bound, deficit_bound=deficit,
+            )
+            assert dec.num_parts <= k
+            assert dec.arboricity_bound == deficit + out_bound // k
+            check_arbdefective_coloring(
+                forest_graph.graph, dec.label, dec.arboricity_bound, po
+            )
+
+    def test_rounds_at_most_length_plus_one(self, forest_graph, forest_net):
+        a = forest_graph.arboricity_bound
+        po = partial_orientation(forest_net, a, t=2)
+        dec = simple_arbdefective(
+            forest_net, po, 3,
+            out_degree_bound=int(po.params["out_degree_bound"]),
+        )
+        assert dec.rounds <= orientation_length(forest_graph.graph, po) + 1
+
+    def test_invalid_k(self, forest_graph, forest_net):
+        po = partial_orientation(forest_net, forest_graph.arboricity_bound, t=1)
+        with pytest.raises(InvalidParameterError):
+            simple_arbdefective(forest_net, po, 0, out_degree_bound=5)
+
+    def test_k_one_everything_same_part(self, forest_graph, forest_net):
+        a = forest_graph.arboricity_bound
+        po = partial_orientation(forest_net, a, t=1)
+        dec = simple_arbdefective(
+            forest_net, po, 1,
+            out_degree_bound=int(po.params["out_degree_bound"]),
+            deficit_bound=int(po.params["deficit_bound"]),
+        )
+        assert dec.num_parts == 1
+
+
+class TestArbdefectiveColoring:
+    def test_corollary36_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        a = family_graph.arboricity_bound
+        dec = arbdefective_coloring(net, a, k=2, t=2)
+        assert dec.num_parts <= 2
+        # the achieved bound must match the paper's formula up to flooring
+        assert dec.arboricity_bound <= arbdefective_bound(a, 2, 2, 0.5) + 1
+        check_arbdefective_coloring(
+            family_graph.graph, dec.label, dec.arboricity_bound,
+            dec.params["orientation"],
+        )
+
+    def test_arboricity_shrinks_with_k_and_t(self):
+        g = forest_union(400, 12, seed=21)
+        net = SynchronousNetwork(g.graph)
+        coarse = arbdefective_coloring(net, 12, k=2, t=2)
+        fine = arbdefective_coloring(net, 12, k=6, t=6)
+        assert fine.arboricity_bound < coarse.arboricity_bound
+        assert fine.num_parts <= 6
+
+    def test_decomposition_covers_graph(self, planar_graph, planar_net):
+        dec = arbdefective_coloring(planar_net, 3, k=3, t=3)
+        assert set(dec.label) == set(planar_graph.graph.vertices)
+        assert all(0 <= c < 3 for c in dec.label.values())
+
+    def test_parts_accessor(self, forest_graph, forest_net):
+        dec = arbdefective_coloring(forest_net, forest_graph.arboricity_bound, k=2, t=2)
+        parts = dec.parts()
+        assert sum(len(vs) for vs in parts.values()) == forest_graph.n
+
+    def test_rounds_grow_with_t(self):
+        """Cor 3.6: runtime O(t² log n) — larger t costs more rounds than
+        t=1 (longer intra-level color chains)."""
+        g = forest_union(500, 9, seed=22)
+        net = SynchronousNetwork(g.graph)
+        fast = arbdefective_coloring(net, 9, k=3, t=1)
+        slow = arbdefective_coloring(net, 9, k=3, t=3)
+        # both must at least terminate well under the complete-orientation
+        # cost; t=1 should not be slower than t=3
+        assert fast.rounds <= slow.rounds + 2
+
+    def test_invalid_a(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            arbdefective_coloring(forest_net, 0, k=2, t=2)

@@ -1,0 +1,82 @@
+"""Baselines: BE08 coloring, Luby coloring, sequential greedy."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.core import (
+    be08_coloring,
+    luby_coloring,
+    sequential_greedy_coloring,
+)
+from repro.graphs import forest_union, random_regular, random_tree
+from repro.verify import check_legal_coloring
+
+
+class TestBE08:
+    def test_legal_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        a = family_graph.arboricity_bound
+        result = be08_coloring(net, a)
+        check_legal_coloring(family_graph.graph, result.colors)
+
+    def test_palette_bound(self):
+        g = forest_union(300, 6, seed=51)
+        net = SynchronousNetwork(g.graph)
+        result = be08_coloring(net, 6)
+        assert result.num_colors <= int(2.5 * 6) + 1
+
+    def test_rounds_grow_with_a(self):
+        """O(a log n): doubling a at fixed n increases the greedy phase."""
+        n = 400
+        r = {}
+        for a in (4, 16):
+            g = forest_union(n, a, seed=a + 52)
+            net = SynchronousNetwork(g.graph)
+            r[a] = be08_coloring(net, a).rounds
+        assert r[16] > r[4]
+
+    def test_phase_accounting(self):
+        g = forest_union(200, 4, seed=53)
+        net = SynchronousNetwork(g.graph)
+        result = be08_coloring(net, 4)
+        assert result.rounds == (
+            result.params["orientation_rounds"] + result.params["greedy_rounds"]
+        )
+
+
+class TestLubyColoring:
+    def test_legal_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        result = luby_coloring(net, seed=1)
+        check_legal_coloring(family_graph.graph, result.colors)
+        assert result.num_colors <= family_graph.graph.max_degree + 1
+
+    def test_deterministic_given_seed(self):
+        g = random_regular(100, 5, seed=54)
+        net = SynchronousNetwork(g.graph)
+        assert luby_coloring(net, seed=3).colors == luby_coloring(net, seed=3).colors
+
+    def test_fast(self):
+        g = forest_union(800, 6, seed=55)
+        net = SynchronousNetwork(g.graph)
+        result = luby_coloring(net, seed=2)
+        check_legal_coloring(g.graph, result.colors)
+        assert result.rounds <= 30  # O(log n) w.h.p.
+
+    def test_explicit_degree_bound(self):
+        g = random_tree(100, seed=56)
+        net = SynchronousNetwork(g.graph)
+        result = luby_coloring(net, max_degree=g.graph.max_degree + 5, seed=1)
+        check_legal_coloring(g.graph, result.colors)
+
+
+class TestSequentialGreedy:
+    def test_legal_and_bounded(self, family_graph):
+        result = sequential_greedy_coloring(family_graph.graph)
+        check_legal_coloring(family_graph.graph, result.colors)
+        assert result.num_colors <= family_graph.graph.max_degree + 1
+
+    def test_deterministic(self, forest_graph):
+        a = sequential_greedy_coloring(forest_graph.graph)
+        b = sequential_greedy_coloring(forest_graph.graph)
+        assert a.colors == b.colors

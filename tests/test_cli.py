@@ -1,0 +1,64 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import COLORING_ALGORITHMS, FAMILIES, MIS_ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["color"])
+        assert args.family == "forest_union"
+        assert args.n == 400
+        assert args.algorithm == "cor46"
+
+
+class TestCommands:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        for name in FAMILIES:
+            assert name in out
+
+    @pytest.mark.parametrize("algorithm", sorted(COLORING_ALGORITHMS))
+    def test_color_each_algorithm(self, algorithm, capsys):
+        code = main(
+            ["color", "--family", "forest_union", "--n", "120", "--a", "4",
+             "--algorithm", algorithm]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legal ✓" in out
+
+    @pytest.mark.parametrize("algorithm", sorted(MIS_ALGORITHMS))
+    def test_mis_each_algorithm(self, algorithm, capsys):
+        code = main(
+            ["mis", "--family", "tree", "--n", "120", "--algorithm", algorithm]
+        )
+        assert code == 0
+        assert "independent+maximal ✓" in capsys.readouterr().out
+
+    def test_decompose(self, capsys):
+        assert main(["decompose", "--family", "planar", "--n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "H-partition" in out
+        assert "forests" in out
+
+    def test_color_on_various_families(self, capsys):
+        for family in ("planar", "grid", "tree", "preferential", "hubs"):
+            code = main(
+                ["color", "--family", family, "--n", "100", "--a", "3"]
+            )
+            assert code == 0
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--family", "nonsense"])
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--algorithm", "nonsense"])

@@ -1,0 +1,117 @@
+"""Cole–Vishkin 3-coloring of rooted forests."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.analysis import log_star
+from repro.core import (
+    cole_vishkin_forest,
+    cv_iterations_needed,
+    forests_decomposition,
+)
+from repro.errors import SimulationError
+from repro.graphs import binary_tree, path, random_tree, star, forest_union
+from repro.types import canonical_edge
+
+
+def parent_map_by_id(graph):
+    """Root every tree of the graph at its smallest-id vertex (BFS).
+
+    Builds a valid parent map for any forest-shaped graph.
+    """
+    parent = {}
+    visited = set()
+    for root in graph.vertices:
+        if root in visited:
+            continue
+        parent[root] = None
+        visited.add(root)
+        frontier = [root]
+        while frontier:
+            v = frontier.pop()
+            for u in graph.neighbors(v):
+                if u not in visited:
+                    visited.add(u)
+                    parent[u] = v
+                    frontier.append(u)
+    return parent
+
+
+class TestCVIterations:
+    def test_monotone(self):
+        assert cv_iterations_needed(10) <= cv_iterations_needed(10**6)
+
+    def test_log_star_scale(self):
+        assert cv_iterations_needed(10**9) <= log_star(10**9) + 4
+
+    def test_tiny(self):
+        assert cv_iterations_needed(1) >= 1
+        assert cv_iterations_needed(2) >= 1
+
+
+class TestColeVishkin:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: path(50).graph,
+            lambda: star(40).graph,
+            lambda: binary_tree(5).graph,
+            lambda: random_tree(200, seed=1).graph,
+        ],
+        ids=["path", "star", "binary", "random"],
+    )
+    def test_three_colors_on_trees(self, make):
+        g = make()
+        net = SynchronousNetwork(g)
+        parent = parent_map_by_id(g)
+        result = cole_vishkin_forest(net, parent)
+        assert all(0 <= c < 3 for c in result.colors.values())
+        for (u, v) in g.edges:
+            assert result.colors[u] != result.colors[v]
+
+    def test_rounds_log_star(self):
+        g = random_tree(1000, seed=2).graph
+        net = SynchronousNetwork(g)
+        result = cole_vishkin_forest(net, parent_map_by_id(g))
+        assert result.rounds <= cv_iterations_needed(1000) + 6
+
+    def test_forest_with_many_components(self):
+        from repro.graphs import disjoint_union, random_tree as rt
+
+        gen = disjoint_union([rt(30, seed=3), rt(40, seed=4), rt(50, seed=5)])
+        g = gen.graph
+        net = SynchronousNetwork(g)
+        result = cole_vishkin_forest(net, parent_map_by_id(g))
+        for (u, v) in g.edges:
+            assert result.colors[u] != result.colors[v]
+        assert max(result.colors.values()) < 3
+
+    def test_single_vertex(self):
+        g = path(1).graph
+        net = SynchronousNetwork(g)
+        result = cole_vishkin_forest(net, {0: None})
+        assert result.colors[0] in (0, 1, 2)
+
+    def test_colors_forest_inside_larger_graph(self):
+        """CV on one forest of a forests decomposition: legal on *forest*
+        edges even though the network has more edges."""
+        gen = forest_union(150, 3, seed=6)
+        net = SynchronousNetwork(gen.graph)
+        fd = forests_decomposition(net, 3)
+        g = gen.graph
+        # build the parent map of forest 0 from the decomposition
+        parent = {v: None for v in g.vertices}
+        for (u, v) in fd.forest_edges(0):
+            head = fd.orientation.head(u, v)
+            tail = u if head == v else v
+            parent[tail] = head
+        result = cole_vishkin_forest(net, parent)
+        for (u, v) in fd.forest_edges(0):
+            assert result.colors[u] != result.colors[v]
+        assert max(result.colors.values()) < 3
+
+    def test_parent_must_be_neighbor(self):
+        g = path(4).graph
+        net = SynchronousNetwork(g)
+        with pytest.raises(SimulationError):
+            cole_vishkin_forest(net, {0: 3, 1: None, 2: None, 3: None})

@@ -1,0 +1,129 @@
+"""Color reduction: greedy, Kuhn–Wattenhofer, and the Δ+1 pipeline."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.core import (
+    delta_plus_one_coloring,
+    greedy_reduction,
+    kuhn_wattenhofer_reduction,
+    linial_coloring,
+)
+from repro.errors import InvalidParameterError, SimulationError
+from repro.graphs import forest_union, grid, random_regular, random_tree
+from repro.verify import check_legal_coloring
+
+
+def legal_base_coloring(graph):
+    """A legal coloring with a wastefully large palette (ids as colors)."""
+    return {v: v for v in graph.vertices}, graph.n
+
+
+class TestGreedyReduction:
+    def test_reduces_to_target(self):
+        g = random_regular(80, 4, seed=1)
+        net = SynchronousNetwork(g.graph)
+        colors, m = legal_base_coloring(g.graph)
+        reduced = greedy_reduction(net, colors, m, target=5)
+        check_legal_coloring(g.graph, reduced.colors)
+        assert reduced.num_colors <= 5
+        assert all(c < 5 for c in reduced.colors.values())
+
+    def test_rounds_m_minus_target(self):
+        g = random_regular(60, 4, seed=2)
+        net = SynchronousNetwork(g.graph)
+        colors, m = legal_base_coloring(g.graph)
+        reduced = greedy_reduction(net, colors, m, target=5)
+        assert reduced.rounds <= m - 5
+
+    def test_noop_when_under_target(self):
+        g = grid(5, 5)
+        net = SynchronousNetwork(g.graph)
+        base = {v: v % 2 for v in g.graph.vertices}  # grid is bipartite
+        reduced = greedy_reduction(net, base, 2, target=5)
+        assert reduced.rounds == 0
+        assert reduced.colors == base
+
+    def test_target_too_small_raises(self):
+        g = random_regular(40, 6, seed=3)
+        net = SynchronousNetwork(g.graph)
+        colors, m = legal_base_coloring(g.graph)
+        with pytest.raises(SimulationError):
+            greedy_reduction(net, colors, m, target=2)
+
+    def test_invalid_target(self):
+        g = grid(3, 3)
+        net = SynchronousNetwork(g.graph)
+        with pytest.raises(InvalidParameterError):
+            greedy_reduction(net, {v: v for v in g.graph.vertices}, 9, target=0)
+
+
+class TestKuhnWattenhofer:
+    def test_reduces_to_delta_plus_one(self):
+        g = random_regular(100, 6, seed=4)
+        net = SynchronousNetwork(g.graph)
+        colors, m = legal_base_coloring(g.graph)
+        delta = g.graph.max_degree
+        reduced = kuhn_wattenhofer_reduction(net, colors, m, delta)
+        check_legal_coloring(g.graph, reduced.colors)
+        assert reduced.num_colors <= delta + 1
+
+    def test_faster_than_greedy_for_large_palettes(self):
+        g = random_regular(300, 4, seed=5)
+        net = SynchronousNetwork(g.graph)
+        colors, m = legal_base_coloring(g.graph)
+        delta = g.graph.max_degree
+        kw = kuhn_wattenhofer_reduction(net, colors, m, delta)
+        greedy = greedy_reduction(net, colors, m, delta + 1)
+        assert kw.rounds < greedy.rounds
+
+    def test_rounds_scale_log_m(self):
+        """KW rounds grow ~Δ·log(m/Δ): doubling m adds ~Δ rounds, far less
+        than the m−Δ of greedy."""
+        g = random_tree(256, seed=6)
+        net = SynchronousNetwork(g.graph)
+        delta = g.graph.max_degree
+        colors, m = legal_base_coloring(g.graph)
+        kw = kuhn_wattenhofer_reduction(net, colors, m, delta)
+        assert kw.rounds <= 3 * (delta + 1) * (m.bit_length() + 1)
+
+    def test_on_parts(self):
+        g = random_regular(80, 4, seed=7)
+        net = SynchronousNetwork(g.graph)
+        parts = {v: v % 2 for v in g.graph.vertices}
+        colors, m = legal_base_coloring(g.graph)
+        reduced = kuhn_wattenhofer_reduction(
+            net, colors, m, g.graph.max_degree, part_of=parts
+        )
+        for (u, v) in g.graph.edges:
+            if parts[u] == parts[v]:
+                assert reduced.colors[u] != reduced.colors[v]
+
+
+class TestDeltaPlusOne:
+    def test_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        delta = family_graph.graph.max_degree
+        result = delta_plus_one_coloring(net, delta)
+        check_legal_coloring(family_graph.graph, result.colors)
+        assert result.num_colors <= delta + 1
+
+    def test_greedy_reduction_variant(self):
+        g = random_tree(100, seed=8)
+        net = SynchronousNetwork(g.graph)
+        delta = g.graph.max_degree
+        result = delta_plus_one_coloring(net, delta, reduction="greedy")
+        check_legal_coloring(g.graph, result.colors)
+        assert result.num_colors <= delta + 1
+
+    def test_invalid_reduction(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            delta_plus_one_coloring(forest_net, 5, reduction="bogus")
+
+    def test_composition_rounds(self):
+        g = random_regular(120, 5, seed=9)
+        net = SynchronousNetwork(g.graph)
+        result = delta_plus_one_coloring(net, g.graph.max_degree)
+        assert result.rounds == (
+            result.params["linial_rounds"] + result.params["reduction_rounds"]
+        )

@@ -1,0 +1,126 @@
+"""Unit tests for the immutable Graph type."""
+
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidParameterError
+
+
+class TestConstruction:
+    def test_basic(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+        assert triangle.vertices == (0, 1, 2)
+
+    def test_edges_canonical_and_sorted(self):
+        g = Graph(range(4), [(3, 1), (2, 0)])
+        assert g.edges == ((0, 2), (1, 3))
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(range(3), [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Graph(range(3), [(1, 1)])
+
+    def test_edge_to_unknown_vertex_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Graph(range(3), [(0, 5)])
+
+    def test_non_int_vertex_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Graph(["a"], [])
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.n == 5
+        assert g.m == 0
+        assert g.max_degree == 0
+
+    def test_zero_vertex_graph(self):
+        g = Graph([], [])
+        assert g.n == 0
+        assert g.max_degree == 0
+
+    def test_noncontiguous_ids(self):
+        g = Graph([10, 20, 30], [(10, 30)])
+        assert g.vertices == (10, 20, 30)
+        assert g.has_edge(30, 10)
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(1, 2), (2, 5)])
+        assert g.vertices == (1, 2, 5)
+        assert g.m == 2
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(range(4), [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == (0, 1, 3)
+
+    def test_degree(self, triangle):
+        assert all(triangle.degree(v) == 2 for v in triangle.vertices)
+
+    def test_max_degree(self):
+        g = Graph(range(4), [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree == 3
+
+    def test_has_edge_both_directions(self, triangle):
+        assert triangle.has_edge(0, 2)
+        assert triangle.has_edge(2, 0)
+        assert not triangle.has_edge(0, 0)
+
+    def test_contains_and_iter(self, triangle):
+        assert 1 in triangle
+        assert 9 not in triangle
+        assert list(triangle) == [0, 1, 2]
+        assert len(triangle) == 3
+
+    def test_equality_and_hash(self, triangle):
+        other = Graph(range(3), [(0, 1), (1, 2), (0, 2)])
+        assert triangle == other
+        assert hash(triangle) == hash(other)
+        assert triangle != Graph(range(3), [(0, 1)])
+
+    def test_repr(self, triangle):
+        assert repr(triangle) == "Graph(n=3, m=3)"
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph_keeps_ids(self, triangle):
+        sub = triangle.induced_subgraph([0, 2])
+        assert sub.vertices == (0, 2)
+        assert sub.edges == ((0, 2),)
+
+    def test_induced_subgraph_unknown_vertex(self, triangle):
+        with pytest.raises(InvalidParameterError):
+            triangle.induced_subgraph([0, 99])
+
+    def test_subgraph_of_edges(self, triangle):
+        sub = triangle.subgraph_of_edges([(0, 1)])
+        assert sub.n == 3
+        assert sub.m == 1
+
+    def test_subgraph_of_edges_rejects_non_edge(self, path5):
+        with pytest.raises(InvalidParameterError):
+            path5.subgraph_of_edges([(0, 4)])
+
+    def test_relabeled(self):
+        g = Graph([5, 9, 12], [(5, 12)])
+        relabeled, mapping = g.relabeled()
+        assert relabeled.vertices == (0, 1, 2)
+        assert mapping == {5: 0, 9: 1, 12: 2}
+        assert relabeled.has_edge(0, 2)
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, forest_graph):
+        nxg = forest_graph.graph.to_networkx()
+        back = Graph.from_networkx(nxg)
+        assert back == forest_graph.graph
+
+    def test_to_networkx_counts(self, triangle):
+        nxg = triangle.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 3

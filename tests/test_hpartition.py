@@ -1,0 +1,108 @@
+"""H-partition (Lemma 2.3): defining property, level counts, failure modes."""
+
+import math
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.core import compute_hpartition, degree_threshold, expected_num_levels
+from repro.core.hpartition import HPartitionProgram
+from repro.errors import InvalidParameterError, SimulationError
+from repro.graphs import complete_graph, forest_union, random_tree, ring
+from repro.verify import check_hpartition
+
+
+class TestDegreeThreshold:
+    def test_values(self):
+        assert degree_threshold(4, 0.5) == 10
+        assert degree_threshold(1, 0.5) == 2
+        assert degree_threshold(10, 1.0) == 30
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            degree_threshold(0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            degree_threshold(3, 0.0)
+
+
+class TestHPartition:
+    def test_property_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        hp = compute_hpartition(net, family_graph.arboricity_bound)
+        check_hpartition(family_graph.graph, hp)
+
+    def test_rounds_equal_levels(self, forest_graph, forest_net):
+        hp = compute_hpartition(forest_net, forest_graph.arboricity_bound)
+        assert hp.rounds == hp.num_levels
+
+    def test_levels_logarithmic(self):
+        """ℓ stays near the log_{(2+ε)/2} n bound as n grows."""
+        for n in (64, 256, 1024):
+            g = forest_union(n, 3, seed=n)
+            hp = compute_hpartition(SynchronousNetwork(g.graph), 3)
+            bound = expected_num_levels(n, 0.5)
+            assert hp.num_levels <= bound
+
+    def test_all_vertices_assigned(self, forest_graph, forest_net):
+        hp = compute_hpartition(forest_net, forest_graph.arboricity_bound)
+        assert set(hp.index) == set(forest_graph.graph.vertices)
+        assert all(i >= 1 for i in hp.index.values())
+
+    def test_tree_single_level_often(self):
+        """A star has every leaf (and then the hub) at low levels."""
+        from repro.graphs import star
+
+        g = star(30)
+        hp = compute_hpartition(SynchronousNetwork(g.graph), 1)
+        check_hpartition(g.graph, hp)
+        assert hp.num_levels <= 2
+
+    def test_levels_accessors(self, forest_graph, forest_net):
+        hp = compute_hpartition(forest_net, forest_graph.arboricity_bound)
+        levels = hp.levels()
+        assert sum(len(vs) for vs in levels.values()) == forest_graph.n
+        for i, vs in levels.items():
+            assert set(hp.level(i)) == set(vs)
+
+    def test_underestimated_arboricity_fails_loudly(self):
+        """K12 has arboricity 6; claiming a=1 must raise, not hang."""
+        g = complete_graph(12)
+        net = SynchronousNetwork(g.graph)
+        with pytest.raises(SimulationError, match="arboricity"):
+            compute_hpartition(net, 1)
+
+    def test_on_subgraph(self, forest_graph, forest_net):
+        verts = list(forest_graph.graph.vertices)[: forest_graph.n // 2]
+        hp = compute_hpartition(
+            forest_net, forest_graph.arboricity_bound, participants=verts
+        )
+        sub = forest_graph.graph.induced_subgraph(verts)
+        check_hpartition(sub, hp)
+
+    def test_epsilon_tradeoff(self):
+        """Larger ε ⇒ higher threshold ⇒ no more levels than smaller ε."""
+        g = forest_union(400, 4, seed=17)
+        net = SynchronousNetwork(g.graph)
+        tight = compute_hpartition(net, 4, epsilon=0.1)
+        loose = compute_hpartition(net, 4, epsilon=2.0)
+        assert loose.num_levels <= tight.num_levels
+        assert loose.degree_bound > tight.degree_bound
+
+    def test_ring_two_levels_max(self):
+        g = ring(100)
+        hp = compute_hpartition(SynchronousNetwork(g.graph), 2)
+        # threshold = 5 >= every degree: everything leaves in round 1
+        assert hp.num_levels == 1
+
+    def test_deterministic(self, forest_graph, forest_net):
+        hp1 = compute_hpartition(forest_net, forest_graph.arboricity_bound)
+        hp2 = compute_hpartition(forest_net, forest_graph.arboricity_bound)
+        assert hp1.index == hp2.index
+
+
+class TestExpectedNumLevels:
+    def test_monotone_in_n(self):
+        assert expected_num_levels(10, 0.5) <= expected_num_levels(10_000, 0.5)
+
+    def test_tiny(self):
+        assert expected_num_levels(1, 0.5) == 1

@@ -1,0 +1,149 @@
+"""End-to-end integration: full pipelines, cross-algorithm consistency,
+and determinism across the whole stack."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.core import (
+    arb_kuhn_decomposition,
+    arbdefective_coloring,
+    be08_coloring,
+    compute_hpartition,
+    forests_decomposition,
+    legal_coloring,
+    legal_coloring_corollary46,
+    legal_coloring_theorem43,
+    linial_coloring,
+    luby_coloring,
+    mis_arboricity,
+    mis_from_coloring,
+    oneshot_legal_coloring,
+    theorem52_fast_coloring,
+    theorem53_tradeoff,
+)
+from repro.graphs import (
+    disjoint_union,
+    forest_union,
+    grid,
+    planar_triangulation,
+    preferential_attachment,
+    random_tree,
+    standard_families,
+)
+from repro.verify import (
+    check_forests_decomposition,
+    check_hpartition,
+    check_legal_coloring,
+    check_mis,
+)
+
+ALL_COLORING_PIPELINES = [
+    ("legal_p4", lambda net, a: legal_coloring(net, a, p=4)),
+    ("oneshot", lambda net, a: oneshot_legal_coloring(net, a)),
+    ("thm43", lambda net, a: legal_coloring_theorem43(net, a, mu=1.0)),
+    ("cor46", lambda net, a: legal_coloring_corollary46(net, a, eta=0.5)),
+    ("thm52", lambda net, a: theorem52_fast_coloring(net, a, d=max(1, a // 3))),
+    ("thm53", lambda net, a: theorem53_tradeoff(net, a, t=max(1, a // 2))),
+    ("be08", lambda net, a: be08_coloring(net, a)),
+]
+
+
+class TestEveryPipelineOnEveryFamily:
+    @pytest.mark.parametrize(
+        "name,pipeline", ALL_COLORING_PIPELINES, ids=[p[0] for p in ALL_COLORING_PIPELINES]
+    )
+    def test_legal_everywhere(self, family_graph, name, pipeline):
+        net = SynchronousNetwork(family_graph.graph)
+        result = pipeline(net, family_graph.arboricity_bound)
+        check_legal_coloring(family_graph.graph, result.colors)
+        assert result.rounds >= 0
+
+
+class TestDeterminism:
+    def test_full_stack_reproducible(self):
+        g = forest_union(250, 8, seed=61)
+        net = SynchronousNetwork(g.graph)
+        r1 = legal_coloring_theorem43(net, 8, mu=1.0)
+        r2 = legal_coloring_theorem43(net, 8, mu=1.0)
+        assert r1.colors == r2.colors
+        assert r1.rounds == r2.rounds
+
+    def test_decompositions_reproducible(self):
+        g = planar_triangulation(120, seed=62)
+        net = SynchronousNetwork(g.graph)
+        d1 = arbdefective_coloring(net, 3, k=2, t=2)
+        d2 = arbdefective_coloring(net, 3, k=2, t=2)
+        assert d1.label == d2.label
+
+
+class TestComposedPipelines:
+    def test_hpartition_feeds_forests(self):
+        g = forest_union(300, 5, seed=63)
+        net = SynchronousNetwork(g.graph)
+        hp = compute_hpartition(net, 5)
+        check_hpartition(g.graph, hp)
+        fd = forests_decomposition(net, 5, hpartition=hp)
+        check_forests_decomposition(g.graph, fd)
+
+    def test_coloring_feeds_mis(self):
+        g = forest_union(300, 6, seed=64)
+        net = SynchronousNetwork(g.graph)
+        coloring = legal_coloring_corollary46(net, 6, eta=0.5)
+        mis = mis_from_coloring(net, coloring)
+        check_mis(g.graph, mis.members)
+        assert mis.rounds < coloring.normalized().num_colors + 1
+
+    def test_disconnected_graph(self):
+        gen = disjoint_union(
+            [forest_union(80, 3, seed=65), random_tree(60, seed=66), grid(6, 6)]
+        )
+        net = SynchronousNetwork(gen.graph)
+        result = legal_coloring(net, gen.arboricity_bound, p=4)
+        check_legal_coloring(gen.graph, result.colors)
+        mis = mis_arboricity(net, gen.arboricity_bound)
+        check_mis(gen.graph, mis.members)
+
+    def test_power_law_graph(self):
+        """Preferential attachment: low arboricity, heavy degree tail —
+        the regime where arboricity-based algorithms shine."""
+        gen = preferential_attachment(300, 3, seed=67)
+        net = SynchronousNetwork(gen.graph)
+        result = legal_coloring_corollary46(net, gen.arboricity_bound, eta=0.5)
+        check_legal_coloring(gen.graph, result.colors)
+        # far fewer colors than Δ+1 (what degree-based algorithms pay)
+        assert result.num_colors < gen.max_degree
+
+    def test_arb_kuhn_refines_into_legal(self):
+        g = forest_union(300, 9, seed=68)
+        net = SynchronousNetwork(g.graph)
+        dec = arb_kuhn_decomposition(net, 9, defect=3)
+        parts = {v: lab for v, lab in dec.label.items()}
+        inner = legal_coloring(net, 3, p=4, part_of=parts)
+        # legality within every part
+        for (u, v) in g.graph.edges:
+            if parts[u] == parts[v]:
+                assert inner.colors[u] != inner.colors[v]
+
+
+class TestRoundComplexityOrdering:
+    def test_randomized_beats_deterministic_beats_be08(self):
+        """The qualitative ordering the paper's Table-free §1.2 narrative
+        implies at our scale: Luby (randomized) is fastest, the paper's
+        deterministic polylog algorithms sit in the middle, BE08's
+        O(a log n) is slowest for large a."""
+        g = forest_union(500, 16, seed=69)
+        net = SynchronousNetwork(g.graph)
+        luby = luby_coloring(net, seed=1)
+        ours = legal_coloring_theorem43(net, 16, mu=0.5)
+        be08 = be08_coloring(net, 16)
+        assert luby.rounds < ours.rounds < be08.rounds
+
+    def test_linial_fast_but_many_colors(self):
+        g = forest_union(2000, 4, seed=70)
+        net = SynchronousNetwork(g.graph)
+        lin = linial_coloring(net)
+        ours = legal_coloring_corollary46(net, 4, eta=0.5)
+        check_legal_coloring(g.graph, lin.colors)
+        check_legal_coloring(g.graph, ours.colors)
+        assert lin.rounds < ours.rounds
+        assert ours.num_colors < lin.params["final_color_space"]

@@ -1,0 +1,186 @@
+"""Procedure Legal-Coloring (Algorithm 2) and Section 4's corollaries."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.core import (
+    be08_coloring,
+    delta_plus_one_via_arboricity,
+    legal_coloring,
+    legal_coloring_corollary44,
+    legal_coloring_corollary46,
+    legal_coloring_theorem43,
+    legal_coloring_tradeoff45,
+    oneshot_legal_coloring,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs import (
+    forest_union,
+    low_arboricity_high_degree,
+    planar_triangulation,
+)
+from repro.verify import check_legal_coloring
+
+
+class TestOneshot:
+    def test_lemma41_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        a = family_graph.arboricity_bound
+        result = oneshot_legal_coloring(net, a)
+        check_legal_coloring(family_graph.graph, result.colors)
+        # O(a) colors: k parts × (2+ε)(3+ε)a^{2/3} palette ≈ 9a
+        assert result.num_colors <= max(30, 30 * a)
+
+    def test_color_count_linear_in_a(self):
+        ratios = []
+        for a in (4, 8, 16):
+            g = forest_union(300, a, seed=a)
+            net = SynchronousNetwork(g.graph)
+            result = oneshot_legal_coloring(net, a)
+            check_legal_coloring(g.graph, result.colors)
+            ratios.append(result.num_colors / a)
+        # colors/a stays bounded (no quadratic blow-up)
+        assert max(ratios) <= 25
+
+
+class TestLegalColoring:
+    def test_algorithm2_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        a = family_graph.arboricity_bound
+        result = legal_coloring(net, a, p=4)
+        check_legal_coloring(family_graph.graph, result.colors)
+
+    def test_small_a_skips_recursion(self):
+        g = planar_triangulation(100, seed=31)
+        net = SynchronousNetwork(g.graph)
+        result = legal_coloring(net, 3, p=4)
+        assert result.params["iterations"] == 0
+        check_legal_coloring(g.graph, result.colors)
+
+    def test_recursion_depth_grows_with_a_over_p(self):
+        g = forest_union(400, 16, seed=32)
+        net = SynchronousNetwork(g.graph)
+        shallow = legal_coloring(net, 16, p=16)
+        deep = legal_coloring(net, 16, p=4)
+        assert deep.params["iterations"] >= shallow.params["iterations"]
+
+    def test_colors_linear_in_a_for_constant_iterations(self):
+        """Theorem 4.3's invariant: colors ≤ (3+ε)^iters · O(a)."""
+        for a in (8, 16, 32):
+            g = forest_union(300, a, seed=a + 1)
+            net = SynchronousNetwork(g.graph)
+            result = legal_coloring(net, a, p=max(4, int(a**0.5)))
+            check_legal_coloring(g.graph, result.colors)
+            iters = result.params["iterations"]
+            assert result.num_colors <= (4.0**iters) * 4 * a
+
+    def test_invalid_params(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            legal_coloring(forest_net, 0, p=4)
+        with pytest.raises(InvalidParameterError):
+            legal_coloring(forest_net, 4, p=1)
+
+
+class TestTheorem43:
+    def test_legal_and_bounded(self):
+        g = forest_union(400, 16, seed=33)
+        net = SynchronousNetwork(g.graph)
+        result = legal_coloring_theorem43(net, 16, mu=0.8)
+        check_legal_coloring(g.graph, result.colors)
+        assert result.params["mu"] == 0.8
+
+    def test_smaller_mu_slower_but_valid(self):
+        g = forest_union(300, 16, seed=34)
+        net = SynchronousNetwork(g.graph)
+        fast = legal_coloring_theorem43(net, 16, mu=1.5)
+        slow = legal_coloring_theorem43(net, 16, mu=0.4)
+        check_legal_coloring(g.graph, fast.colors)
+        check_legal_coloring(g.graph, slow.colors)
+
+    def test_invalid_mu(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            legal_coloring_theorem43(forest_net, 4, mu=0.0)
+        with pytest.raises(InvalidParameterError):
+            legal_coloring_theorem43(forest_net, 4, mu=3.0)
+
+
+class TestCorollary44:
+    def test_fallback_regime_small_a(self):
+        g = forest_union(300, 8, seed=45)
+        net = SynchronousNetwork(g.graph)
+        result = legal_coloring_corollary44(net, 8, mu=1.0)
+        check_legal_coloring(g.graph, result.colors)
+        assert result.params["regime"] == "theorem-4.3-fallback"
+
+    def test_superlogarithmic_regime(self):
+        """a large relative to log n triggers the p = a^{µ/2}/log n branch."""
+        g = forest_union(80, 64, seed=46)
+        net = SynchronousNetwork(g.graph)
+        result = legal_coloring_corollary44(net, 64, mu=2.0)
+        check_legal_coloring(g.graph, result.colors)
+        assert result.params["regime"] == "superlogarithmic"
+
+    def test_invalid_mu(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            legal_coloring_corollary44(forest_net, 4, mu=0.0)
+
+
+class TestTheorem45AndCorollary46:
+    def test_tradeoff45(self):
+        g = forest_union(300, 20, seed=35)
+        net = SynchronousNetwork(g.graph)
+        result = legal_coloring_tradeoff45(net, 20, f_value=9)
+        check_legal_coloring(g.graph, result.colors)
+
+    def test_tradeoff45_tiny_f_clamped(self):
+        g = forest_union(200, 8, seed=36)
+        net = SynchronousNetwork(g.graph)
+        result = legal_coloring_tradeoff45(net, 8, f_value=1)
+        check_legal_coloring(g.graph, result.colors)
+
+    def test_corollary46(self):
+        g = forest_union(300, 16, seed=37)
+        net = SynchronousNetwork(g.graph)
+        result = legal_coloring_corollary46(net, 16, eta=0.5)
+        check_legal_coloring(g.graph, result.colors)
+        # O(a^{1+η}) colors, generous constant
+        assert result.num_colors <= 40 * 16 ** (1.5)
+
+    def test_corollary46_invalid_eta(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            legal_coloring_corollary46(forest_net, 4, eta=0.0)
+
+
+class TestCorollary47:
+    def test_delta_plus_one_in_sparse_regime(self):
+        g = low_arboricity_high_degree(400, a=3, num_hubs=4, seed=38)
+        net = SynchronousNetwork(g.graph)
+        delta = g.graph.max_degree
+        result = delta_plus_one_via_arboricity(net, g.arboricity_bound, nu=0.5)
+        check_legal_coloring(g.graph, result.colors)
+        assert result.num_colors <= delta + 1
+        # the o(Δ) intermediate coloring is what makes this cheap
+        assert result.params["pre_reduction_colors"] <= delta + 1 or (
+            result.params["pre_reduction_colors"] < 3 * delta
+        )
+
+    def test_no_reduction_needed_when_already_small(self):
+        g = forest_union(200, 3, seed=39)
+        net = SynchronousNetwork(g.graph)
+        delta = g.graph.max_degree
+        result = delta_plus_one_via_arboricity(net, 3, nu=0.5)
+        check_legal_coloring(g.graph, result.colors)
+        assert result.num_colors <= delta + 1
+
+
+class TestAgainstBE08:
+    def test_same_colors_fewer_rounds_large_a(self):
+        """The headline: Theorem 4.3 colors like BE08 but much faster once
+        a is large (a^µ·log n vs a·log n)."""
+        g = forest_union(600, 16, seed=40)
+        net = SynchronousNetwork(g.graph)
+        ours = legal_coloring_theorem43(net, 16, mu=0.5)
+        theirs = be08_coloring(net, 16)
+        check_legal_coloring(g.graph, ours.colors)
+        check_legal_coloring(g.graph, theirs.colors)
+        assert ours.rounds < theirs.rounds

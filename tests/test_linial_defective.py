@@ -1,0 +1,98 @@
+"""Linial's O(Δ²)-coloring [20] and Kuhn's defective coloring (Lemma 2.1)."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.analysis import log_star
+from repro.core import kuhn_defective_coloring, linial_coloring
+from repro.errors import InvalidParameterError
+from repro.graphs import forest_union, random_regular, random_tree, ring
+from repro.verify import check_legal_coloring, coloring_defect
+
+
+class TestLinial:
+    def test_legal_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        result = linial_coloring(net)
+        check_legal_coloring(family_graph.graph, result.colors)
+
+    def test_quadratic_color_bound(self):
+        """Colors at most O(Δ²) — with the explicit polynomial families the
+        fixpoint is at most (2Δ+small prime gap)² ≤ 16Δ² for Δ ≥ 2."""
+        for d, n in ((4, 600), (6, 900)):
+            g = random_regular(n, d, seed=d)
+            net = SynchronousNetwork(g.graph)
+            result = linial_coloring(net)
+            check_legal_coloring(g.graph, result.colors)
+            delta = g.graph.max_degree
+            assert result.params["final_color_space"] <= 16 * delta * delta
+
+    def test_log_star_rounds(self):
+        g = random_regular(1000, 4, seed=11)
+        net = SynchronousNetwork(g.graph)
+        result = linial_coloring(net)
+        assert result.rounds <= log_star(1000) + 4
+
+    def test_explicit_degree_bound(self):
+        g = ring(50)
+        net = SynchronousNetwork(g.graph)
+        result = linial_coloring(net, max_degree=2)
+        check_legal_coloring(g.graph, result.colors)
+        assert result.params["final_color_space"] <= 49  # (2*2+prime gap)²
+
+    def test_ring_constant_colors(self):
+        """Rings: Δ=2, so O(1) colors in O(log* n) rounds — Linial's classic
+        setting."""
+        for n in (64, 512):
+            g = ring(n)
+            result = linial_coloring(SynchronousNetwork(g.graph))
+            check_legal_coloring(g.graph, result.colors)
+            assert result.num_colors <= 49
+
+
+class TestKuhnDefective:
+    def test_defect_bound_sweep(self):
+        g = random_regular(300, 12, seed=12)
+        net = SynchronousNetwork(g.graph)
+        delta = g.graph.max_degree
+        for p in (1, 2, 3, 6):
+            result = kuhn_defective_coloring(net, p)
+            assert coloring_defect(g.graph, result.colors) <= delta // p
+
+    def test_p_one_single_color_allowed(self):
+        """p=1 allows defect Δ: a single color is legal output."""
+        g = random_tree(100, seed=13)
+        net = SynchronousNetwork(g.graph)
+        result = kuhn_defective_coloring(net, 1)
+        assert coloring_defect(g.graph, result.colors) <= g.graph.max_degree
+
+    def test_colors_grow_with_p(self):
+        g = random_regular(500, 16, seed=14)
+        net = SynchronousNetwork(g.graph)
+        few = kuhn_defective_coloring(net, 2)
+        many = kuhn_defective_coloring(net, 8)
+        assert few.params["final_color_space"] <= many.params["final_color_space"]
+
+    def test_large_p_equals_legal(self):
+        """p ≥ Δ means defect 0 — the coloring must be legal."""
+        g = random_regular(150, 5, seed=15)
+        net = SynchronousNetwork(g.graph)
+        result = kuhn_defective_coloring(net, g.graph.max_degree + 1)
+        check_legal_coloring(g.graph, result.colors)
+
+    def test_log_star_rounds(self):
+        g = random_regular(800, 10, seed=16)
+        net = SynchronousNetwork(g.graph)
+        result = kuhn_defective_coloring(net, 3)
+        assert result.rounds <= log_star(800) + 4
+
+    def test_invalid_p(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            kuhn_defective_coloring(forest_net, 0)
+
+    def test_params_recorded(self):
+        g = random_tree(60, seed=17)
+        net = SynchronousNetwork(g.graph)
+        result = kuhn_defective_coloring(net, 2)
+        assert result.params["p"] == 2
+        assert result.params["defect_bound"] == g.graph.max_degree // 2

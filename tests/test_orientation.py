@@ -1,0 +1,164 @@
+"""Orientations: Complete-Orientation (L3.3), Partial-Orientation (T3.5),
+topological completion (L3.1), greedy coloring along orientations (App. A)."""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.analysis import (
+    complete_orientation_length_bound,
+    partial_orientation_length_bound,
+)
+from repro.core import (
+    complete_from_partial,
+    complete_orientation,
+    orientation_greedy_coloring,
+    partial_orientation,
+)
+from repro.errors import InvalidParameterError
+from repro.graphs import forest_union, planar_triangulation, random_tree
+from repro.verify import (
+    check_legal_coloring,
+    check_orientation_acyclic,
+    check_orientation_complete,
+    check_orientation_deficit,
+    check_orientation_edges_exist,
+    check_orientation_out_degree,
+    longest_directed_path,
+    orientation_length,
+    orientation_max_deficit,
+    orientation_max_out_degree,
+)
+
+
+class TestCompleteOrientation:
+    def test_invariants_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        a = family_graph.arboricity_bound
+        co = complete_orientation(net, a)
+        g = family_graph.graph
+        check_orientation_acyclic(g, co)
+        check_orientation_complete(g, co)
+        check_orientation_edges_exist(g, co)
+        check_orientation_out_degree(g, co, int(2.5 * a))
+
+    def test_length_bound_shape(self):
+        """Measured length stays within a constant of (2+ε)a·log n."""
+        for a in (2, 4, 8):
+            g = forest_union(500, a, seed=a)
+            net = SynchronousNetwork(g.graph)
+            co = complete_orientation(net, a)
+            measured = orientation_length(g.graph, co)
+            bound = complete_orientation_length_bound(a, 500, 0.5)
+            assert measured <= 3 * bound
+
+    def test_deficit_zero(self, forest_graph, forest_net):
+        co = complete_orientation(forest_net, forest_graph.arboricity_bound)
+        assert orientation_max_deficit(forest_graph.graph, co) == 0
+
+
+class TestPartialOrientation:
+    def test_invariants_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        a = family_graph.arboricity_bound
+        po = partial_orientation(net, a, t=2)
+        g = family_graph.graph
+        check_orientation_acyclic(g, po)
+        check_orientation_edges_exist(g, po)
+        check_orientation_out_degree(g, po, int(2.5 * a))
+        check_orientation_deficit(g, po, a // 2)
+
+    def test_deficit_decreases_with_t(self):
+        g = forest_union(400, 8, seed=3)
+        net = SynchronousNetwork(g.graph)
+        deficits = []
+        for t in (1, 2, 4, 8):
+            po = partial_orientation(net, 8, t=t)
+            d = orientation_max_deficit(g.graph, po)
+            assert d <= 8 // t
+            deficits.append(d)
+        assert deficits[-1] == 0 or deficits[-1] <= deficits[0]
+
+    def test_much_faster_than_complete(self):
+        """The paper's key point: Partial-Orientation runs in O(log n)
+        rounds, Complete-Orientation needs Θ(a log n) greedy waiting."""
+        g = forest_union(600, 12, seed=4)
+        net = SynchronousNetwork(g.graph)
+        po = partial_orientation(net, 12, t=2)
+        co = complete_orientation(net, 12)
+        assert po.rounds < co.rounds
+
+    def test_length_bound_shape(self):
+        for t in (1, 2, 4):
+            g = forest_union(500, 8, seed=t)
+            net = SynchronousNetwork(g.graph)
+            po = partial_orientation(net, 8, t=t)
+            measured = orientation_length(g.graph, po)
+            bound = partial_orientation_length_bound(t, 500, 0.5)
+            # the defective coloring uses O(t² polylog) colors, so allow a
+            # generous constant
+            assert measured <= 60 * bound
+
+    def test_invalid_t(self, forest_net):
+        with pytest.raises(InvalidParameterError):
+            partial_orientation(forest_net, 3, t=0)
+
+
+class TestCompleteFromPartial:
+    def test_lemma31(self, forest_graph, forest_net):
+        po = partial_orientation(forest_net, forest_graph.arboricity_bound, t=1)
+        g = forest_graph.graph
+        completed = complete_from_partial(g, po)
+        check_orientation_acyclic(g, completed)
+        check_orientation_complete(g, completed)
+        # the completion preserves already-oriented edges
+        for e, head in po.direction.items():
+            assert completed.direction[e] == head
+
+    def test_out_degree_grows_at_most_by_deficit(self, forest_graph, forest_net):
+        a = forest_graph.arboricity_bound
+        po = partial_orientation(forest_net, a, t=1)
+        g = forest_graph.graph
+        completed = complete_from_partial(g, po)
+        assert (
+            orientation_max_out_degree(g, completed)
+            <= orientation_max_out_degree(g, po) + orientation_max_deficit(g, po)
+        )
+
+
+class TestOrientationGreedy:
+    def test_legal_within_palette(self, planar_graph, planar_net):
+        a = planar_graph.arboricity_bound
+        co = complete_orientation(planar_net, a)
+        out_bound = int(co.params["out_degree_bound"])
+        coloring = orientation_greedy_coloring(planar_net, co, out_bound)
+        check_legal_coloring(planar_graph.graph, coloring.colors)
+        assert coloring.max_color <= out_bound
+
+    def test_rounds_at_most_length_plus_one(self, forest_graph, forest_net):
+        a = forest_graph.arboricity_bound
+        co = complete_orientation(forest_net, a)
+        coloring = orientation_greedy_coloring(
+            forest_net, co, int(co.params["out_degree_bound"])
+        )
+        assert coloring.rounds <= orientation_length(forest_graph.graph, co) + 1
+
+    def test_appendix_a_bound(self, forest_graph, forest_net):
+        """A complete acyclic orientation of length ℓ yields an (ℓ+1)-
+        coloring (Appendix A) — greedy uses no more colors than that."""
+        a = forest_graph.arboricity_bound
+        co = complete_orientation(forest_net, a)
+        length = orientation_length(forest_graph.graph, co)
+        coloring = orientation_greedy_coloring(
+            forest_net, co, int(co.params["out_degree_bound"])
+        )
+        assert coloring.num_colors <= length + 1
+
+
+class TestLongestPath:
+    def test_path_is_consistent(self, forest_graph, forest_net):
+        po = partial_orientation(forest_net, forest_graph.arboricity_bound, t=2)
+        g = forest_graph.graph
+        path = longest_directed_path(g, po)
+        assert len(path) - 1 == orientation_length(g, po)
+        for u, v in zip(path, path[1:]):
+            assert po.head(u, v) == v

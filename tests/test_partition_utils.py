@@ -1,0 +1,80 @@
+"""Vertex-partition utilities."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import (
+    check_is_partition,
+    cross_part_edges,
+    dense_relabel,
+    grid,
+    part_subgraphs,
+    parts_of,
+    refine_partition,
+)
+
+
+class TestRefinePartition:
+    def test_with_base(self):
+        base = {0: "x", 1: "x", 2: "y"}
+        labels = {0: 1, 1: 2, 2: 1}
+        refined = refine_partition(base, labels)
+        assert refined == {0: ("x", 1), 1: ("x", 2), 2: ("y", 1)}
+
+    def test_without_base(self):
+        refined = refine_partition(None, {0: 5})
+        assert refined == {0: (None, 5)}
+
+    def test_keyed_by_labels(self):
+        """Vertices absent from labels (non-participants) are dropped."""
+        refined = refine_partition({0: "a", 1: "a"}, {0: 0})
+        assert set(refined) == {0}
+
+
+class TestDenseRelabel:
+    def test_compacts(self):
+        labels = {0: 100, 1: 7, 2: 100, 3: ("a", 2)}
+        dense = dense_relabel(labels)
+        assert set(dense.values()) <= {0, 1, 2}
+        assert len(set(dense.values())) == 3
+        assert dense[0] == dense[2]
+
+    def test_deterministic(self):
+        labels = {i: (i % 3, "tag") for i in range(9)}
+        assert dense_relabel(labels) == dense_relabel(dict(labels))
+
+
+class TestPartsAndSubgraphs:
+    def test_parts_of(self):
+        parts = parts_of({0: "a", 1: "b", 2: "a"})
+        assert sorted(parts["a"]) == [0, 2]
+        assert parts["b"] == [1]
+
+    def test_part_subgraphs(self):
+        g = grid(2, 3).graph  # vertices 0..5
+        labels = {v: v % 2 for v in g.vertices}
+        subs = part_subgraphs(g, labels)
+        assert set(subs) == {0, 1}
+        assert sum(s.n for s in subs.values()) == g.n
+        # no cross-part edge survives in the induced subgraphs
+        for s in subs.values():
+            for (u, v) in s.edges:
+                assert labels[u] == labels[v]
+
+    def test_cross_part_edges(self):
+        g = grid(2, 2).graph
+        labels = {0: 0, 1: 0, 2: 1, 3: 1}
+        crossing = cross_part_edges(g, labels)
+        assert all(labels[u] != labels[v] for (u, v) in crossing)
+        assert len(crossing) + sum(
+            1 for (u, v) in g.edges if labels[u] == labels[v]
+        ) == g.m
+
+
+class TestCheckIsPartition:
+    def test_accepts_complete(self):
+        check_is_partition([0, 1], {0: "a", 1: "b"})
+
+    def test_rejects_incomplete(self):
+        with pytest.raises(InvalidParameterError, match="misses"):
+            check_is_partition([0, 1, 2], {0: "a"})

@@ -1,0 +1,88 @@
+"""Primality, prime search, integer roots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.families import integer_nth_root, is_prime, next_prime
+
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        for n in range(50):
+            assert is_prime(n) == (n in SMALL_PRIMES)
+
+    def test_negative_and_zero(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_carmichael_numbers(self):
+        # classic Fermat pseudoprimes must be rejected
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n)
+
+    def test_large_known_primes(self):
+        assert is_prime(104729)  # the 10000th prime
+        assert is_prime(2**31 - 1)  # Mersenne
+        assert not is_prime(2**31)
+
+    def test_squares_of_primes(self):
+        for p in (101, 997, 10007):
+            assert is_prime(p)
+            assert not is_prime(p * p)
+
+
+class TestNextPrime:
+    def test_at_or_above(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+        assert next_prime(4) == 5
+        assert next_prime(14) == 17
+        assert next_prime(90) == 97
+
+    @given(st.integers(min_value=2, max_value=200_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, n):
+        p = next_prime(n)
+        assert p >= n
+        assert is_prime(p)
+        # no prime strictly between n and p
+        assert all(not is_prime(q) for q in range(n, p))
+
+
+class TestIntegerNthRoot:
+    def test_exact_powers(self):
+        assert integer_nth_root(27, 3) == 3
+        assert integer_nth_root(1024, 10) == 2
+        assert integer_nth_root(49, 2) == 7
+
+    def test_floor_behavior(self):
+        assert integer_nth_root(26, 3) == 2
+        assert integer_nth_root(50, 2) == 7
+        assert integer_nth_root(7, 3) == 1
+
+    def test_edges(self):
+        assert integer_nth_root(0, 5) == 0
+        assert integer_nth_root(1, 7) == 1
+        assert integer_nth_root(12345, 1) == 12345
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            integer_nth_root(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            integer_nth_root(5, 0)
+
+    @given(
+        x=st.integers(min_value=0, max_value=10**15),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property(self, x, k):
+        r = integer_nth_root(x, k)
+        assert r**k <= x
+        assert (r + 1) ** k > x

@@ -1,0 +1,144 @@
+"""Property-based tests: random graphs through the whole stack.
+
+Hypothesis generates arbitrary-ish bounded-arboricity graphs; every paper
+guarantee must hold on all of them, not just the fixture families.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Graph, SynchronousNetwork
+from repro.core import (
+    arbdefective_coloring,
+    compute_hpartition,
+    forests_decomposition,
+    legal_coloring,
+    linial_coloring,
+    luby_mis,
+    mis_from_coloring,
+    partial_orientation,
+    sequential_greedy_coloring,
+)
+from repro.graphs import degeneracy, erdos_renyi, forest_union
+from repro.verify import (
+    check_arbdefective_coloring,
+    check_forests_decomposition,
+    check_hpartition,
+    check_legal_coloring,
+    check_mis,
+    check_orientation_acyclic,
+    check_orientation_deficit,
+    check_orientation_out_degree,
+)
+
+# A modest profile: each property runs a full distributed simulation.
+PROFILE = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def bounded_arboricity_graph(draw):
+    """A random graph with a certified arboricity bound."""
+    n = draw(st.integers(min_value=5, max_value=80))
+    a = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    density = draw(st.floats(min_value=0.2, max_value=1.0))
+    return forest_union(n, a, seed=seed, density=density)
+
+
+@st.composite
+def arbitrary_graph(draw):
+    """A random G(n, p) graph; its bound is the measured degeneracy."""
+    n = draw(st.integers(min_value=4, max_value=50))
+    p = draw(st.floats(min_value=0.02, max_value=0.4))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return erdos_renyi(n, p, seed=seed)
+
+
+@PROFILE
+@given(gen=bounded_arboricity_graph())
+def test_hpartition_property(gen):
+    net = SynchronousNetwork(gen.graph)
+    hp = compute_hpartition(net, gen.arboricity_bound)
+    check_hpartition(gen.graph, hp)
+
+
+@PROFILE
+@given(gen=bounded_arboricity_graph())
+def test_forests_property(gen):
+    net = SynchronousNetwork(gen.graph)
+    fd = forests_decomposition(net, gen.arboricity_bound)
+    check_forests_decomposition(gen.graph, fd)
+    assert fd.num_forests <= int(2.5 * gen.arboricity_bound)
+
+
+@PROFILE
+@given(gen=bounded_arboricity_graph(), t=st.integers(min_value=1, max_value=4))
+def test_partial_orientation_property(gen, t):
+    net = SynchronousNetwork(gen.graph)
+    po = partial_orientation(net, gen.arboricity_bound, t=t)
+    check_orientation_acyclic(gen.graph, po)
+    check_orientation_out_degree(gen.graph, po, int(2.5 * gen.arboricity_bound))
+    check_orientation_deficit(gen.graph, po, gen.arboricity_bound // t)
+
+
+@PROFILE
+@given(
+    gen=bounded_arboricity_graph(),
+    k=st.integers(min_value=1, max_value=4),
+    t=st.integers(min_value=1, max_value=4),
+)
+def test_arbdefective_property(gen, k, t):
+    net = SynchronousNetwork(gen.graph)
+    dec = arbdefective_coloring(net, gen.arboricity_bound, k=k, t=t)
+    assert dec.num_parts <= k
+    check_arbdefective_coloring(
+        gen.graph, dec.label, dec.arboricity_bound, dec.params["orientation"]
+    )
+
+
+@PROFILE
+@given(gen=bounded_arboricity_graph(), p=st.integers(min_value=2, max_value=6))
+def test_legal_coloring_property(gen, p):
+    net = SynchronousNetwork(gen.graph)
+    result = legal_coloring(net, gen.arboricity_bound, p=p)
+    check_legal_coloring(gen.graph, result.colors)
+
+
+@PROFILE
+@given(gen=arbitrary_graph())
+def test_linial_property_on_arbitrary_graphs(gen):
+    net = SynchronousNetwork(gen.graph)
+    result = linial_coloring(net)
+    check_legal_coloring(gen.graph, result.colors)
+
+
+@PROFILE
+@given(gen=arbitrary_graph(), seed=st.integers(min_value=0, max_value=100))
+def test_luby_mis_property(gen, seed):
+    net = SynchronousNetwork(gen.graph)
+    mis = luby_mis(net, seed=seed)
+    check_mis(gen.graph, mis.members)
+
+
+@PROFILE
+@given(gen=arbitrary_graph())
+def test_mis_from_any_legal_coloring(gen):
+    net = SynchronousNetwork(gen.graph)
+    coloring = sequential_greedy_coloring(gen.graph)
+    mis = mis_from_coloring(net, coloring)
+    check_mis(gen.graph, mis.members)
+
+
+@PROFILE
+@given(gen=arbitrary_graph())
+def test_degeneracy_certificate_property(gen):
+    """Generators' degeneracy-based bounds are honest on arbitrary graphs."""
+    k, order = degeneracy(gen.graph)
+    pos = {v: i for i, v in enumerate(order)}
+    for v in gen.graph.vertices:
+        later = sum(1 for u in gen.graph.neighbors(v) if pos[u] > pos[v])
+        assert later <= k

@@ -1,0 +1,125 @@
+"""Additional property-based tests: Cole–Vishkin, reductions, ruling sets,
+estimation — random inputs through the newer parts of the stack."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Graph, SynchronousNetwork
+from repro.core import (
+    cole_vishkin_forest,
+    greedy_reduction,
+    kuhn_wattenhofer_reduction,
+    root_forest_by_bfs,
+    ruling_set,
+    ruling_set_domination_radius,
+    try_hpartition,
+)
+from repro.core.mis import greedy_mis_sequential
+from repro.graphs import erdos_renyi, forest_union, random_tree
+from repro.verify import check_legal_coloring, check_mis
+
+PROFILE = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_forest(draw):
+    n = draw(st.integers(min_value=2, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return random_tree(n, seed=seed)
+
+
+@PROFILE
+@given(gen=random_forest())
+def test_cole_vishkin_property(gen):
+    g = gen.graph
+    net = SynchronousNetwork(g)
+    result = cole_vishkin_forest(net, root_forest_by_bfs(g))
+    assert all(0 <= c < 3 for c in result.colors.values())
+    for (u, v) in g.edges:
+        assert result.colors[u] != result.colors[v]
+
+
+@PROFILE
+@given(
+    n=st.integers(min_value=4, max_value=60),
+    p=st.floats(min_value=0.05, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10**6),
+    target_slack=st.integers(min_value=1, max_value=5),
+)
+def test_greedy_reduction_property(n, p, seed, target_slack):
+    gen = erdos_renyi(n, p, seed=seed)
+    g = gen.graph
+    net = SynchronousNetwork(g)
+    target = g.max_degree + target_slack
+    reduced = greedy_reduction(net, {v: v for v in g.vertices}, n, target)
+    check_legal_coloring(g, reduced.colors)
+    assert all(c < target for c in reduced.colors.values())
+
+
+@PROFILE
+@given(
+    n=st.integers(min_value=4, max_value=60),
+    p=st.floats(min_value=0.05, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_kw_reduction_property(n, p, seed):
+    gen = erdos_renyi(n, p, seed=seed)
+    g = gen.graph
+    net = SynchronousNetwork(g)
+    delta = g.max_degree
+    reduced = kuhn_wattenhofer_reduction(
+        net, {v: v for v in g.vertices}, n, delta
+    )
+    check_legal_coloring(g, reduced.colors)
+    assert reduced.num_colors <= delta + 1
+
+
+@PROFILE
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    p=st.floats(min_value=0.02, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_ruling_set_property(n, p, seed):
+    gen = erdos_renyi(n, p, seed=seed)
+    g = gen.graph
+    net = SynchronousNetwork(g)
+    rs = ruling_set(net)
+    # independence
+    for (u, v) in g.edges:
+        assert not (u in rs.members and v in rs.members)
+    # domination within the stated radius
+    assert ruling_set_domination_radius(g, rs.members) <= rs.params["beta_bound"]
+
+
+@PROFILE
+@given(
+    n=st.integers(min_value=5, max_value=80),
+    a=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_try_hpartition_never_lies(n, a, seed):
+    """A successful attempt always returns a *valid* H-partition."""
+    from repro.verify import check_hpartition
+
+    gen = forest_union(n, a, seed=seed)
+    net = SynchronousNetwork(gen.graph)
+    hp, _rounds = try_hpartition(net, a)
+    if hp is not None:
+        check_hpartition(gen.graph, hp)
+
+
+@PROFILE
+@given(
+    n=st.integers(min_value=3, max_value=60),
+    p=st.floats(min_value=0.05, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_greedy_mis_reference_property(n, p, seed):
+    gen = erdos_renyi(n, p, seed=seed)
+    members = greedy_mis_sequential(gen.graph)
+    check_mis(gen.graph, members)

@@ -1,0 +1,62 @@
+"""The AGLP (2, O(log n))-ruling set."""
+
+import pytest
+
+from repro import Graph, SynchronousNetwork
+from repro.core import ruling_set, ruling_set_domination_radius
+from repro.graphs import forest_union, path, random_regular, ring, star
+
+
+class TestRulingSet:
+    def test_independent_on_families(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        rs = ruling_set(net)
+        g = family_graph.graph
+        for (u, v) in g.edges:
+            assert not (u in rs.members and v in rs.members)
+
+    def test_domination_logarithmic(self, family_graph):
+        net = SynchronousNetwork(family_graph.graph)
+        rs = ruling_set(net)
+        beta = ruling_set_domination_radius(family_graph.graph, rs.members)
+        assert beta <= rs.params["beta_bound"]
+
+    def test_nonempty_per_component(self):
+        """Every connected component contains a ruler (the all-zero-prefix
+        survivor), so the domination radius is finite."""
+        g = forest_union(200, 3, seed=95)
+        net = SynchronousNetwork(g.graph)
+        rs = ruling_set(net)
+        assert ruling_set_domination_radius(g.graph, rs.members) <= g.graph.n
+
+    def test_rounds_logarithmic(self):
+        g = random_regular(1024, 6, seed=96)
+        net = SynchronousNetwork(g.graph)
+        rs = ruling_set(net)
+        assert rs.rounds <= 11  # ⌈log2 1024⌉ + 1
+
+    def test_vertex_zero_always_rules(self):
+        """Id 0 is on the 0-side of every merge, so it never abdicates."""
+        for maker in (lambda: ring(32).graph, lambda: star(16).graph):
+            g = maker()
+            rs = ruling_set(SynchronousNetwork(g))
+            assert 0 in rs.members
+
+    def test_path_density(self):
+        """On a path the ruling set cannot skip Θ(log n)-sized gaps."""
+        g = path(128).graph
+        rs = ruling_set(SynchronousNetwork(g))
+        beta = ruling_set_domination_radius(g, rs.members)
+        assert beta <= 2 * 7  # beta bound for 7-bit ids
+
+    def test_single_vertex(self):
+        g = Graph.empty(1)
+        rs = ruling_set(SynchronousNetwork(g))
+        assert rs.members == {0}
+
+    def test_deterministic(self, forest_graph, forest_net):
+        assert ruling_set(forest_net).members == ruling_set(forest_net).members
+
+    def test_empty_domination(self):
+        g = path(4).graph
+        assert ruling_set_domination_radius(g, set()) == g.n + 1

@@ -1,0 +1,248 @@
+"""The LOCAL-model round simulator: semantics, accounting, restrictions."""
+
+import pytest
+
+from repro import Graph, NodeContext, NodeProgram, SynchronousNetwork
+from repro.errors import RoundLimitExceeded, SimulationError
+from repro.simulator import FunctionProgram, RoundLedger, payload_size
+from repro.simulator.message import Envelope
+
+
+class EchoIdProgram(NodeProgram):
+    """Halt immediately with own id; no communication."""
+
+    def on_start(self, ctx):
+        ctx.halt(ctx.node)
+
+
+class SumNeighborsProgram(NodeProgram):
+    """Broadcast id, then halt with the sum of received ids."""
+
+    def on_start(self, ctx):
+        ctx.broadcast(ctx.node)
+        if not ctx.neighbors:
+            ctx.halt(0)
+
+    def on_round(self, ctx):
+        ctx.halt(sum(ctx.inbox.values()))
+
+
+class ForeverProgram(NodeProgram):
+    """Never halts (for round-limit tests)."""
+
+    def on_start(self, ctx):
+        ctx.broadcast("tick")
+
+    def on_round(self, ctx):
+        ctx.broadcast("tick")
+
+
+@pytest.fixture
+def net(triangle):
+    return SynchronousNetwork(triangle)
+
+
+class TestRoundSemantics:
+    def test_zero_rounds_when_no_communication(self, net):
+        result = net.run(EchoIdProgram)
+        assert result.rounds == 0
+        assert result.outputs == {0: 0, 1: 1, 2: 2}
+        assert result.messages == 0
+
+    def test_one_round_exchange(self, net):
+        result = net.run(SumNeighborsProgram)
+        assert result.rounds == 1
+        assert result.outputs == {0: 3, 1: 2, 2: 1}
+        assert result.messages == 6
+
+    def test_messages_sent_while_halting_are_delivered(self):
+        """A node may announce and halt in the same activation."""
+
+        class Announcer(NodeProgram):
+            def on_start(self, ctx):
+                ctx.broadcast("bye")
+                ctx.halt("sender")
+
+            def on_round(self, ctx):  # pragma: no cover
+                raise AssertionError("halted node reactivated")
+
+        class Listener(NodeProgram):
+            def on_start(self, ctx):
+                pass
+
+            def on_round(self, ctx):
+                ctx.halt(sorted(ctx.inbox.values()))
+
+        g = Graph(range(2), [(0, 1)])
+        net2 = SynchronousNetwork(g)
+        instances = iter([Announcer(), Listener()])
+        result = net2.run(lambda: next(instances))
+        # node 0 (created first) is the announcer
+        assert result.outputs[1] == ["bye"]
+
+    def test_messages_to_halted_nodes_dropped(self):
+        class FirstHalts(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.halt("early")
+                else:
+                    ctx.broadcast("late")
+
+            def on_round(self, ctx):
+                ctx.halt("done")
+
+        g = Graph(range(2), [(0, 1)])
+        result = SynchronousNetwork(g).run(FirstHalts)
+        assert result.outputs[0] == "early"
+        assert result.outputs[1] == "done"
+
+    def test_round_limit(self, net):
+        with pytest.raises(RoundLimitExceeded) as exc:
+            net.run(ForeverProgram, round_limit=5)
+        assert exc.value.limit == 5
+        assert exc.value.still_running == 3
+
+
+class TestVisibility:
+    def test_send_to_non_neighbor_rejected(self):
+        class BadSender(NodeProgram):
+            def on_start(self, ctx):
+                ctx.send(99, "hi")
+
+        g = Graph(range(2), [(0, 1)])
+        with pytest.raises(SimulationError):
+            SynchronousNetwork(g).run(BadSender)
+
+    def test_participants_restriction(self):
+        g = Graph(range(4), [(0, 1), (1, 2), (2, 3)])
+        result = SynchronousNetwork(g).run(
+            SumNeighborsProgram, participants=[0, 1, 2]
+        )
+        assert set(result.outputs) == {0, 1, 2}
+        # node 2 no longer sees node 3
+        assert result.outputs[2] == 1
+
+    def test_unknown_participant_rejected(self, net):
+        with pytest.raises(SimulationError):
+            net.run(EchoIdProgram, participants=[7])
+
+    def test_part_of_isolates_parts(self):
+        g = Graph(range(4), [(0, 1), (1, 2), (2, 3)])
+        parts = {0: "a", 1: "a", 2: "b", 3: "b"}
+        result = SynchronousNetwork(g).run(SumNeighborsProgram, part_of=parts)
+        # 1 only sees 0; 2 only sees 3
+        assert result.outputs[1] == 0
+        assert result.outputs[2] == 3
+
+    def test_degree_reflects_visibility(self):
+        seen = {}
+
+        class DegreeProbe(NodeProgram):
+            def on_start(self, ctx):
+                seen[ctx.node] = ctx.degree
+                ctx.halt()
+
+        g = Graph(range(3), [(0, 1), (1, 2)])
+        SynchronousNetwork(g).run(DegreeProbe, part_of={0: 0, 1: 0, 2: 1})
+        assert seen == {0: 1, 1: 1, 2: 0}
+
+
+class TestGlobals:
+    def test_n_injected(self):
+        captured = {}
+
+        class Probe(NodeProgram):
+            def on_start(self, ctx):
+                captured[ctx.node] = ctx.globals["n"]
+                ctx.halt()
+
+        g = Graph(range(5), [])
+        SynchronousNetwork(g).run(Probe)
+        assert set(captured.values()) == {5}
+
+    def test_custom_globals(self):
+        captured = {}
+
+        class Probe(NodeProgram):
+            def on_start(self, ctx):
+                captured[ctx.node] = ctx.globals["a"]
+                ctx.halt()
+
+        g = Graph(range(2), [])
+        SynchronousNetwork(g).run(Probe, global_params={"a": 42})
+        assert set(captured.values()) == {42}
+
+
+class TestAccounting:
+    def test_byte_counting(self, net):
+        result = net.run(SumNeighborsProgram, count_bytes=True)
+        assert result.message_bytes > 0
+        assert result.max_message_bytes >= 1
+
+    def test_merged_with(self, net):
+        r1 = net.run(SumNeighborsProgram)
+        r2 = net.run(EchoIdProgram)
+        merged = r1.merged_with(r2)
+        assert merged.rounds == r1.rounds + r2.rounds
+        assert merged.messages == r1.messages
+        assert merged.outputs == r2.outputs  # second run overwrites
+
+    def test_payload_size(self):
+        assert payload_size(None) == 0
+        assert payload_size(True) == 1
+        assert payload_size(255) == 1
+        assert payload_size(256) == 2
+        assert payload_size((1, 2)) == 3
+        assert payload_size("abc") == 3
+        assert payload_size({1: 2}) >= 2
+
+    def test_envelope(self):
+        e = Envelope(sender=1, dest=2, payload="x")
+        assert e.sender == 1 and e.dest == 2
+
+
+class TestLedger:
+    def test_totals_and_breakdown(self):
+        ledger = RoundLedger()
+        ledger.add("phase-a", 5, messages=10)
+        ledger.add("phase-b", 3)
+        ledger.add("phase-a", 2)
+        assert ledger.total_rounds == 10
+        assert ledger.total_messages == 10
+        assert ledger.breakdown() == {"phase-a": 7, "phase-b": 3}
+        assert "total rounds: 10" in str(ledger)
+
+    def test_add_run(self, net):
+        ledger = RoundLedger()
+        ledger.add_run("exchange", net.run(SumNeighborsProgram))
+        assert ledger.total_rounds == 1
+
+    def test_add_ledger(self):
+        inner = RoundLedger()
+        inner.add("x", 4)
+        outer = RoundLedger()
+        outer.add_ledger(inner, prefix="sub/")
+        assert outer.breakdown() == {"sub/x": 4}
+
+
+class TestFunctionProgram:
+    def test_start_only(self):
+        g = Graph(range(2), [])
+        result = SynchronousNetwork(g).run(
+            lambda: FunctionProgram(start=lambda ctx: ctx.halt(ctx.node * 10))
+        )
+        assert result.outputs == {0: 0, 1: 10}
+
+    def test_round_callback(self):
+        g = Graph(range(2), [(0, 1)])
+
+        def start(ctx):
+            ctx.broadcast("ping")
+
+        def round_(ctx):
+            ctx.halt(list(ctx.inbox.values()))
+
+        result = SynchronousNetwork(g).run(
+            lambda: FunctionProgram(start=start, round=round_)
+        )
+        assert result.outputs == {0: ["ping"], 1: ["ping"]}

@@ -20,6 +20,30 @@ from repro import SynchronousNetwork
 from repro.graphs import forest_union, low_arboricity_high_degree, planar_triangulation
 
 
+def pytest_addoption(parser):
+    """Benchmark-wide overrides replacing the old hard-coded constants."""
+    parser.addoption(
+        "--trials", type=int, default=1,
+        help="replicates (seeds) per benchmark configuration",
+    )
+    parser.addoption(
+        "--seed", type=int, default=0,
+        help="base seed added to every benchmark's per-config seeds",
+    )
+
+
+@pytest.fixture
+def sweep_trials(request) -> int:
+    """Replicates per configuration (``--trials``, default 1)."""
+    return request.config.getoption("--trials", default=1)
+
+
+@pytest.fixture
+def sweep_base_seed(request) -> int:
+    """Base seed offset for every configuration (``--seed``, default 0)."""
+    return request.config.getoption("--seed", default=0)
+
+
 def run_once(benchmark, fn):
     """Execute ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, iterations=1, rounds=1)

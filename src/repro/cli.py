@@ -7,6 +7,8 @@ without writing code::
     python -m repro mis --family preferential --n 1000 --a 3
     python -m repro decompose --family planar --n 400
     python -m repro families
+    python -m repro sweep --report
+    python -m repro sweep --spec my_sweep.json --workers 8
 
 Output is a small plain-text report: the instance, the result (colors /
 set size / decomposition stats), the round count, and the verification
@@ -16,6 +18,7 @@ verdict.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional
 
@@ -45,6 +48,7 @@ from .graphs import (
     low_arboricity_high_degree,
     planar_triangulation,
     preferential_attachment,
+    random_geometric,
     random_regular,
     random_tree,
     ring,
@@ -67,6 +71,9 @@ FAMILIES: Dict[str, Callable[[int, int, int], GeneratedGraph]] = {
     "preferential": lambda n, a, seed: preferential_attachment(n, max(1, a), seed=seed),
     "hubs": lambda n, a, seed: low_arboricity_high_degree(n, a, seed=seed),
     "hypercube": lambda n, a, seed: hypercube(max(2, (n - 1).bit_length())),
+    # same name as the repro.experiments registry so sweep specs and the
+    # classic commands agree on family vocabulary
+    "random_geometric": lambda n, a, seed: random_geometric(n, 0.08, seed=seed),
 }
 
 COLORING_ALGORITHMS = {
@@ -183,6 +190,97 @@ def _cmd_decompose(args) -> int:
     return 0
 
 
+#: default on-disk cache location; override with --cache-dir or env var
+DEFAULT_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _default_sweep_spec(n: int, num_seeds: int):
+    """The built-in demo sweep: three families × three algorithm kinds."""
+    from .experiments import SweepSpec, grid_scenarios
+
+    scenarios = grid_scenarios(
+        families=[
+            {"name": "forest_union", "n": n, "a": 4},
+            {"name": "planar", "n": n},
+            {"name": "random_geometric", "n": n, "radius": 0.08},
+        ],
+        algorithms=[
+            {"name": "cor46"},
+            {"name": "forests"},
+            {"name": "mis_arboricity"},
+        ],
+        num_seeds=num_seeds,
+    )
+    return SweepSpec("builtin-demo", scenarios)
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments import (
+        ResultCache,
+        SweepSpec,
+        default_workers,
+        report_table,
+        run_sweep,
+    )
+
+    if args.spec:
+        try:
+            spec = SweepSpec.from_file(args.spec)
+        except OSError as exc:
+            raise SystemExit(f"cannot read sweep spec: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"invalid sweep spec {args.spec!r}: {exc}")
+    else:
+        spec = _default_sweep_spec(args.n, args.seeds)
+
+    from .experiments import ALGORITHMS, FAMILIES
+
+    for sc in spec.scenarios:
+        if sc.family not in FAMILIES:
+            raise SystemExit(
+                f"unknown graph family {sc.family!r} in sweep spec; "
+                f"known: {sorted(FAMILIES)}"
+            )
+        if sc.algorithm not in ALGORITHMS:
+            raise SystemExit(
+                f"unknown algorithm {sc.algorithm!r} in sweep spec; "
+                f"known: {sorted(ALGORITHMS)}"
+            )
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            DEFAULT_CACHE_DIR_ENV, os.path.join(os.getcwd(), ".repro-cache")
+        )
+        cache = ResultCache(cache_dir)
+
+    workers = args.workers if args.workers is not None else default_workers()
+    result = run_sweep(spec, cache=cache, workers=workers, progress=print)
+
+    if args.report:
+        print(report_table(result))
+    else:
+        rows = [
+            [tr.trial.family, tr.trial.algorithm, tr.trial.seed,
+             tr.metrics.get("n", "-"), tr.metrics.get("rounds", "-"),
+             "hit" if tr.cached else "miss"]
+            for tr in result
+        ]
+        print(render_table(
+            f"sweep — {spec.name}",
+            ["family", "algorithm", "seed", "n", "rounds", "cache"],
+            rows,
+            note="pass --report for percentile aggregation per (family, algorithm)",
+        ))
+    hit_pct = 100.0 * result.hit_rate
+    print(
+        f"sweep: {result.num_trials} trial(s) in {result.wall_s:.2f}s with "
+        f"{workers} worker(s); cache: {result.cache_hits} hit(s), "
+        f"{result.cache_misses} miss(es) ({hit_pct:.0f}% hit rate)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -223,6 +321,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fam = sub.add_parser("families", help="list graph families")
     p_fam.set_defaults(func=_cmd_families)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a multi-family, multi-algorithm sweep (parallel, cached)",
+    )
+    p_sweep.add_argument(
+        "--spec", default=None,
+        help="JSON sweep spec file (default: the built-in demo sweep)",
+    )
+    p_sweep.add_argument("--n", type=int, default=200,
+                         help="instance size for the built-in sweep")
+    p_sweep.add_argument("--seeds", type=int, default=2,
+                         help="replicates per scenario for the built-in sweep")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="pool size (default: min(cores, 8); 1 = serial)")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="result cache directory "
+                         f"(default: $REPRO_CACHE_DIR or ./.repro-cache)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="recompute everything; do not read or write the cache")
+    p_sweep.add_argument("--report", action="store_true",
+                         help="print the percentile aggregation instead of per-trial rows")
+    p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

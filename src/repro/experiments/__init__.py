@@ -1,0 +1,57 @@
+"""Sweep engine: declarative experiment specs, a parallel trial runner, a
+content-addressed result cache, and aggregation into report tables.
+
+The paper's contribution is a family of tradeoff *curves*, so the repo's
+real workload is sweeps — every algorithm × graph family × size × seed.
+This package turns those from 19 bespoke benchmark loops into data:
+
+>>> from repro.experiments import ScenarioSpec, SweepSpec, run_sweep
+>>> spec = SweepSpec("demo", [
+...     ScenarioSpec(family="forest_union", family_params={"n": 64, "a": 2},
+...                  algorithm="cor46", num_seeds=2),
+... ])
+>>> result = run_sweep(spec)
+>>> result.num_trials
+2
+
+See :mod:`repro.experiments.spec` for the spec format,
+:mod:`repro.experiments.cache` for the on-disk cache guarantees, and
+``repro sweep --help`` for the CLI surface.
+"""
+
+from .aggregate import GroupSummary, percentile, report_table, summarize
+from .cache import ResultCache
+from .registry import ALGORITHMS, FAMILIES, build_instance, execute_trial
+from .runner import SweepResult, TrialResult, default_workers, run_sweep
+from .spec import (
+    SPEC_VERSION,
+    ScenarioSpec,
+    SweepSpec,
+    TrialSpec,
+    canonical_json,
+    derive_seed,
+    grid_scenarios,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "TrialSpec",
+    "ScenarioSpec",
+    "SweepSpec",
+    "grid_scenarios",
+    "canonical_json",
+    "derive_seed",
+    "FAMILIES",
+    "ALGORITHMS",
+    "build_instance",
+    "execute_trial",
+    "ResultCache",
+    "run_sweep",
+    "SweepResult",
+    "TrialResult",
+    "default_workers",
+    "percentile",
+    "summarize",
+    "report_table",
+    "GroupSummary",
+]

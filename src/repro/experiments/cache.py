@@ -1,0 +1,149 @@
+"""Content-addressed on-disk result cache for sweep trials.
+
+Layout: the cache directory holds 256 append-only JSONL shards named by the
+first two hex digits of the trial key (``ab.jsonl``), one record per line::
+
+    {"key": "<sha256>", "trial": {...}, "metrics": {...}, "elapsed_s": ...}
+
+Properties this buys:
+
+* **content-addressed** — the key is the SHA-256 of the trial's canonical
+  encoding (see :meth:`repro.experiments.spec.TrialSpec.key`), so a record
+  is valid for *any* sweep that contains the same trial, and changing any
+  code-relevant parameter changes the key;
+* **atomic appends** — each record is written with a single ``os.write`` on
+  an ``O_APPEND`` descriptor, so concurrent writers interleave whole lines
+  (POSIX guarantees this for small appends) and a crash can at worst leave
+  one truncated final line;
+* **resumable** — loading tolerates (and reports) truncated/corrupt lines,
+  so an interrupted sweep resumes from every trial that completed;
+* **last-writer-wins** — duplicate keys are allowed in the log; the latest
+  line shadows earlier ones, which makes re-running after a ``SPEC_VERSION``
+  bump or forced recompute a plain append, never a rewrite.
+
+A compacted shard (:meth:`ResultCache.compact`) rewrites each file with one
+line per key via the classic write-temp-then-``os.replace`` dance, which is
+atomic on POSIX.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["ResultCache"]
+
+_SHARD_SUFFIX = ".jsonl"
+
+
+class ResultCache:
+    """Dictionary-shaped view over the JSONL shard files.
+
+    The whole store is loaded into memory on first use (records are small —
+    metrics, not raw outputs), so ``get`` is a dict lookup and ``put`` is a
+    dict insert plus one atomic append.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._records: Optional[Dict[str, dict]] = None
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_lines = 0
+
+    # -- loading -------------------------------------------------------
+    def _load(self) -> Dict[str, dict]:
+        if self._records is not None:
+            return self._records
+        records: Dict[str, dict] = {}
+        if os.path.isdir(self.path):
+            for name in sorted(os.listdir(self.path)):
+                if not name.endswith(_SHARD_SUFFIX):
+                    continue
+                with open(os.path.join(self.path, name), "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            rec = json.loads(line)
+                            records[rec["key"]] = rec
+                        except (json.JSONDecodeError, KeyError, TypeError):
+                            self.corrupt_lines += 1
+        self._records = records
+        return records
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._load().keys())
+
+    # -- read/write ----------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Look up a trial record, counting the hit/miss."""
+        rec = self._load().get(key)
+        if rec is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rec
+
+    def put(self, record: dict) -> None:
+        """Persist one trial record (must carry its ``key``)."""
+        key = record["key"]
+        self._load()[key] = record
+        os.makedirs(self.path, exist_ok=True)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(
+            self._shard_path(key), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            # os.write may write fewer bytes than asked (signals, full disk);
+            # loop so a record is never left half-appended silently
+            view = memoryview(line)
+            while view:
+                written = os.write(fd, view)
+                view = view[written:]
+        finally:
+            os.close(fd)
+
+    def _shard_path(self, key: str) -> str:
+        return os.path.join(self.path, key[:2] + _SHARD_SUFFIX)
+
+    # -- maintenance ---------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite every shard with one line per key; returns lines dropped.
+
+        Uses write-to-temp + ``os.replace`` so readers never observe a
+        partially written shard.
+        """
+        records = self._load()
+        by_shard: Dict[str, Dict[str, dict]] = {}
+        for key, rec in records.items():
+            by_shard.setdefault(key[:2], {})[key] = rec
+        dropped = 0
+        if not os.path.isdir(self.path):
+            return 0
+        for name in sorted(os.listdir(self.path)):
+            if not name.endswith(_SHARD_SUFFIX):
+                continue
+            prefix = name[: -len(_SHARD_SUFFIX)]
+            shard = by_shard.get(prefix, {})
+            final = os.path.join(self.path, name)
+            with open(final, "r", encoding="utf-8") as fh:
+                dropped += sum(1 for ln in fh if ln.strip()) - len(shard)
+            tmp = final + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for key in sorted(shard):
+                    fh.write(json.dumps(shard[key], sort_keys=True) + "\n")
+            os.replace(tmp, final)
+        return dropped
+
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) since this cache object was created."""
+        return self.hits, self.misses

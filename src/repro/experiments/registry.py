@@ -1,0 +1,298 @@
+"""Named registries of graph families and algorithm runners, plus the
+picklable trial entry point the parallel runner fans out.
+
+Everything a worker process needs is resolved *by name* inside
+:func:`execute_trial`, so the only objects that cross the process boundary
+are plain dicts — trials go out as ``TrialSpec.to_dict()`` payloads and
+results come back as JSON-serialisable records.  That keeps the
+``multiprocessing`` plumbing trivial and the cache format identical to the
+wire format.
+
+Algorithm runners verify their own output (via :mod:`repro.verify`) before
+reporting metrics, so a cached record is always a *checked* result.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+from .. import SynchronousNetwork
+from ..core import (
+    be08_coloring,
+    delta_plus_one_via_arboricity,
+    forests_decomposition,
+    legal_coloring_corollary46,
+    legal_coloring_theorem43,
+    linial_coloring,
+    luby_coloring,
+    luby_mis,
+    mis_arboricity,
+    oneshot_legal_coloring,
+    theorem52_fast_coloring,
+    theorem53_tradeoff,
+)
+from ..errors import InvalidParameterError
+from ..graphs import (
+    GeneratedGraph,
+    erdos_renyi,
+    forest_union,
+    grid,
+    hypercube,
+    low_arboricity_high_degree,
+    planar_triangulation,
+    preferential_attachment,
+    random_geometric,
+    random_regular,
+    random_tree,
+    ring,
+)
+from ..verify import check_forests_decomposition, check_legal_coloring, check_mis
+from .spec import TrialSpec, derive_seed
+
+# ----------------------------------------------------------------------
+# graph family registry: name -> builder(seed, **family_params)
+# ----------------------------------------------------------------------
+
+
+def _fam_forest_union(seed: int, n: int = 400, a: int = 8, density: float = 1.0):
+    return forest_union(n, a, seed=seed, density=density)
+
+
+def _fam_planar(seed: int, n: int = 400):
+    return planar_triangulation(n, seed=seed)
+
+
+def _fam_tree(seed: int, n: int = 400):
+    return random_tree(n, seed=seed)
+
+
+def _fam_grid(seed: int, rows: int = 20, cols: int = 20):
+    return grid(rows, cols)
+
+
+def _fam_ring(seed: int, n: int = 400):
+    return ring(n)
+
+
+def _fam_hypercube(seed: int, dim: int = 8):
+    return hypercube(dim)
+
+
+def _fam_regular(seed: int, n: int = 400, d: int = 8):
+    return random_regular(n, d, seed=seed)
+
+
+def _fam_preferential(seed: int, n: int = 400, m: int = 3):
+    return preferential_attachment(n, m, seed=seed)
+
+
+def _fam_hubs(seed: int, n: int = 400, a: int = 3, num_hubs: int = 4):
+    return low_arboricity_high_degree(n, a, num_hubs=num_hubs, seed=seed)
+
+
+def _fam_erdos_renyi(seed: int, n: int = 400, p: float = 0.02):
+    return erdos_renyi(n, p, seed=seed)
+
+
+def _fam_geometric(seed: int, n: int = 400, radius: float = 0.08):
+    return random_geometric(n, radius, seed=seed)
+
+
+FAMILIES: Dict[str, Callable[..., GeneratedGraph]] = {
+    "forest_union": _fam_forest_union,
+    "planar": _fam_planar,
+    "tree": _fam_tree,
+    "grid": _fam_grid,
+    "ring": _fam_ring,
+    "hypercube": _fam_hypercube,
+    "regular": _fam_regular,
+    "preferential": _fam_preferential,
+    "hubs": _fam_hubs,
+    "erdos_renyi": _fam_erdos_renyi,
+    "random_geometric": _fam_geometric,
+}
+
+
+def build_instance(trial: TrialSpec) -> GeneratedGraph:
+    """Materialise the graph instance of a trial from the family registry."""
+    if trial.family not in FAMILIES:
+        raise InvalidParameterError(
+            f"unknown graph family {trial.family!r}; "
+            f"known: {sorted(FAMILIES)}"
+        )
+    builder = FAMILIES[trial.family]
+    try:
+        return builder(trial.seed, **trial.family_params)
+    except TypeError as exc:
+        raise InvalidParameterError(
+            f"bad params for family {trial.family!r}: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# algorithm registry: name -> runner(net, gen, seed, params) -> metrics
+# ----------------------------------------------------------------------
+# Metrics are flat JSON-serialisable dicts.  Every runner verifies its output
+# with the matching repro.verify checker before returning.
+
+
+def _bound(gen: GeneratedGraph, params: Dict[str, Any]) -> int:
+    """The arboricity bound an algorithm should use: an explicit ``a`` in
+    the params wins, else the instance's certified bound."""
+    return int(params.get("a", gen.arboricity_bound))
+
+
+def _coloring_metrics(gen: GeneratedGraph, result) -> Dict[str, Any]:
+    check_legal_coloring(gen.graph, result.colors)
+    out: Dict[str, Any] = {
+        "kind": "coloring",
+        "colors": result.num_colors,
+        "rounds": result.rounds,
+        "verified": True,
+    }
+    for k in ("pre_reduction_colors", "final_color_space"):
+        if k in result.params:
+            out[k] = result.params[k]
+    return out
+
+
+def _alg_cor46(net, gen, seed, params):
+    a = _bound(gen, params)
+    res = legal_coloring_corollary46(net, a, eta=float(params.get("eta", 0.5)))
+    return _coloring_metrics(gen, res)
+
+
+def _alg_thm43(net, gen, seed, params):
+    a = _bound(gen, params)
+    res = legal_coloring_theorem43(net, a, mu=float(params.get("mu", 1.0)))
+    return _coloring_metrics(gen, res)
+
+
+def _alg_oneshot(net, gen, seed, params):
+    res = oneshot_legal_coloring(net, _bound(gen, params))
+    return _coloring_metrics(gen, res)
+
+
+def _alg_thm52(net, gen, seed, params):
+    a = _bound(gen, params)
+    res = theorem52_fast_coloring(net, a, d=int(params.get("d", max(1, a // 2))))
+    return _coloring_metrics(gen, res)
+
+
+def _alg_thm53(net, gen, seed, params):
+    a = _bound(gen, params)
+    res = theorem53_tradeoff(net, a, t=int(params.get("t", max(1, a // 4))))
+    return _coloring_metrics(gen, res)
+
+
+def _alg_be08(net, gen, seed, params):
+    res = be08_coloring(net, _bound(gen, params))
+    return _coloring_metrics(gen, res)
+
+
+def _alg_linial(net, gen, seed, params):
+    res = linial_coloring(net)
+    return _coloring_metrics(gen, res)
+
+
+def _alg_luby_coloring(net, gen, seed, params):
+    res = luby_coloring(net, seed=seed)
+    return _coloring_metrics(gen, res)
+
+
+def _alg_delta_plus_one(net, gen, seed, params):
+    a = _bound(gen, params)
+    res = delta_plus_one_via_arboricity(net, a, nu=float(params.get("nu", 0.5)))
+    return _coloring_metrics(gen, res)
+
+
+def _alg_forests(net, gen, seed, params):
+    a = _bound(gen, params)
+    fd = forests_decomposition(net, a, epsilon=float(params.get("epsilon", 0.5)))
+    check_forests_decomposition(gen.graph, fd)
+    return {
+        "kind": "decomposition",
+        "num_forests": fd.num_forests,
+        "rounds": fd.rounds,
+        "verified": True,
+    }
+
+
+def _alg_mis_arboricity(net, gen, seed, params):
+    a = _bound(gen, params)
+    res = mis_arboricity(net, a, mu=float(params.get("mu", 0.5)))
+    check_mis(gen.graph, res.members)
+    out = {
+        "kind": "mis",
+        "mis_size": res.size,
+        "rounds": res.rounds,
+        "verified": True,
+    }
+    for k in ("num_colors", "coloring_rounds", "sweep_rounds"):
+        if k in res.params:
+            out[k] = res.params[k]
+    return out
+
+
+def _alg_luby_mis(net, gen, seed, params):
+    res = luby_mis(net, seed=seed)
+    check_mis(gen.graph, res.members)
+    return {
+        "kind": "mis",
+        "mis_size": res.size,
+        "rounds": res.rounds,
+        "verified": True,
+    }
+
+
+ALGORITHMS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "cor46": _alg_cor46,
+    "thm43": _alg_thm43,
+    "oneshot": _alg_oneshot,
+    "thm52": _alg_thm52,
+    "thm53": _alg_thm53,
+    "be08": _alg_be08,
+    "linial": _alg_linial,
+    "luby_coloring": _alg_luby_coloring,
+    "delta_plus_one": _alg_delta_plus_one,
+    "forests": _alg_forests,
+    "mis_arboricity": _alg_mis_arboricity,
+    "luby_mis": _alg_luby_mis,
+}
+
+
+# ----------------------------------------------------------------------
+# trial entry point (top-level, hence picklable by multiprocessing)
+# ----------------------------------------------------------------------
+def execute_trial(trial_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one trial from its dict encoding and return its cacheable record.
+
+    The record is ``{"key", "trial", "metrics", "elapsed_s"}``; ``metrics``
+    always includes the instance's size statistics so aggregation never has
+    to rebuild the graph.  ``elapsed_s`` is kept outside ``metrics`` because
+    wall time is machine-dependent and must not affect aggregate reports.
+    """
+    trial = TrialSpec.from_dict(trial_dict)
+    if trial.algorithm not in ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown algorithm {trial.algorithm!r}; known: {sorted(ALGORITHMS)}"
+        )
+    gen = build_instance(trial)
+    net = SynchronousNetwork(gen.graph)
+    # Algorithm randomness is decorrelated from the structural seed so that
+    # e.g. Luby's coin flips are not the same stream that wired the graph.
+    alg_seed = derive_seed(trial.key(), "alg")
+    start = time.perf_counter()
+    metrics = ALGORITHMS[trial.algorithm](net, gen, alg_seed, dict(trial.algorithm_params))
+    elapsed = time.perf_counter() - start
+    metrics.setdefault("n", gen.n)
+    metrics.setdefault("m", gen.m)
+    metrics.setdefault("max_degree", gen.max_degree)
+    metrics.setdefault("arboricity_bound", gen.arboricity_bound)
+    return {
+        "key": trial.key(),
+        "trial": trial.to_dict(),
+        "metrics": metrics,
+        "elapsed_s": elapsed,
+    }

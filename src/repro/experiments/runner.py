@@ -1,0 +1,150 @@
+"""The parallel sweep runner: cache lookup, fan-out, collection.
+
+Execution plan for one sweep:
+
+1. expand the :class:`~repro.experiments.spec.SweepSpec` into trials;
+2. probe the :class:`~repro.experiments.cache.ResultCache` for each trial's
+   content key — hits are served instantly;
+3. fan the remaining trials out over a ``multiprocessing`` pool (the trial
+   entry point :func:`repro.experiments.registry.execute_trial` takes and
+   returns plain dicts, so pickling is trivial);
+4. persist every fresh record from the parent process (single writer — the
+   workers never touch the cache) and return everything in spec order.
+
+Determinism: trial seeds are fixed by the spec, algorithm randomness is
+derived from the trial key, and results are reordered to spec order after
+the unordered parallel collection — so a sweep's aggregate output is
+byte-identical whether it ran serial, parallel, or entirely from cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .cache import ResultCache
+from .registry import execute_trial
+from .spec import SweepSpec, TrialSpec
+
+__all__ = ["TrialResult", "SweepResult", "run_sweep", "default_workers"]
+
+
+@dataclass
+class TrialResult:
+    """One trial's outcome: its spec, verified metrics, and provenance."""
+
+    trial: TrialSpec
+    metrics: Dict[str, object]
+    cached: bool
+    elapsed_s: float = 0.0
+
+    @property
+    def key(self) -> str:
+        return self.trial.key()
+
+
+@dataclass
+class SweepResult:
+    """All trial results of a sweep plus cache accounting."""
+
+    name: str
+    results: List[TrialResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of trials served from the cache (0.0 when empty)."""
+        return self.cache_hits / self.num_trials if self.results else 0.0
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not pin one: all cores, capped."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    cache: Optional[ResultCache] = None,
+    workers: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run every trial of ``spec``, reusing ``cache`` when given.
+
+    Parameters
+    ----------
+    workers:
+        Pool size for cache misses.  ``1`` runs in-process (no pool at
+        all — the mode tests and benchmarks use); ``n > 1`` uses a
+        ``multiprocessing.Pool``.
+    progress:
+        Optional callback receiving one human-readable line per event
+        (used by the CLI for ``-v``-style output).
+    """
+    t0 = time.perf_counter()
+    trials = spec.trials()
+    say = progress or (lambda _msg: None)
+
+    records: Dict[str, dict] = {}
+    cached_keys = set()
+    pending: List[TrialSpec] = []
+    pending_keys = set()
+    for trial in trials:
+        key = trial.key()
+        rec = cache.get(key) if cache is not None else None
+        if rec is not None:
+            records[key] = rec
+            cached_keys.add(key)
+        elif key not in pending_keys:
+            pending.append(trial)
+            pending_keys.add(key)
+
+    if pending:
+        say(f"{spec.name}: computing {len(pending)} trial(s), "
+            f"{len(cached_keys)} cached")
+        payloads = [t.to_dict() for t in pending]
+        if workers > 1 and len(pending) > 1:
+            with multiprocessing.Pool(min(workers, len(pending))) as pool:
+                fresh = pool.map(execute_trial, payloads, chunksize=1)
+        else:
+            fresh = [execute_trial(p) for p in payloads]
+        for rec in fresh:
+            records[rec["key"]] = rec
+            if cache is not None:
+                cache.put(rec)
+    else:
+        say(f"{spec.name}: all {len(trials)} trial(s) served from cache")
+
+    results = []
+    hits = misses = 0
+    for trial in trials:
+        rec = records[trial.key()]
+        cached = trial.key() in cached_keys
+        hits += cached
+        misses += not cached
+        results.append(
+            TrialResult(
+                trial=trial,
+                metrics=dict(rec["metrics"]),
+                cached=cached,
+                elapsed_s=float(rec.get("elapsed_s", 0.0)),
+            )
+        )
+    return SweepResult(
+        name=spec.name,
+        results=results,
+        cache_hits=hits,
+        cache_misses=misses,
+        wall_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,307 @@
+"""The sweep engine: specs, content-addressed cache, runner, aggregation,
+and the ``repro sweep`` CLI surface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import InvalidParameterError
+from repro.experiments import (
+    ResultCache,
+    ScenarioSpec,
+    SweepSpec,
+    TrialSpec,
+    derive_seed,
+    execute_trial,
+    grid_scenarios,
+    percentile,
+    report_table,
+    run_sweep,
+    summarize,
+)
+
+
+def tiny_spec(n=48, num_seeds=2):
+    """A fast multi-family, multi-algorithm sweep for tests."""
+    return SweepSpec(
+        "tiny",
+        grid_scenarios(
+            families=[
+                {"name": "forest_union", "n": n, "a": 2},
+                {"name": "tree", "n": n},
+            ],
+            algorithms=[{"name": "cor46"}, {"name": "mis_arboricity"}],
+            num_seeds=num_seeds,
+        ),
+    )
+
+
+class TestSpec:
+    def test_json_round_trip(self):
+        spec = tiny_spec()
+        again = SweepSpec.from_json(spec.to_json())
+        assert again.to_dict() == spec.to_dict()
+        assert [t.key() for t in again.trials()] == [
+            t.key() for t in spec.trials()
+        ]
+
+    def test_trial_key_is_stable_and_param_sensitive(self):
+        t = TrialSpec(family="tree", algorithm="cor46", seed=3,
+                      family_params={"n": 50})
+        same = TrialSpec.from_dict(t.to_dict())
+        assert t.key() == same.key()
+        other = TrialSpec(family="tree", algorithm="cor46", seed=3,
+                          family_params={"n": 51})
+        assert t.key() != other.key()
+        assert t.key() != TrialSpec(family="tree", algorithm="be08", seed=3,
+                                    family_params={"n": 50}).key()
+
+    def test_derived_seeds_are_deterministic_and_scenario_local(self):
+        sc = ScenarioSpec(family="tree", algorithm="cor46",
+                          family_params={"n": 30}, num_seeds=3)
+        assert sc.resolved_seeds() == sc.resolved_seeds()
+        assert len(set(sc.resolved_seeds())) == 3
+        # a different cell derives different seeds (no shared counter)
+        other = ScenarioSpec(family="tree", algorithm="be08",
+                             family_params={"n": 30}, num_seeds=3)
+        assert sc.resolved_seeds() != other.resolved_seeds()
+
+    def test_explicit_seeds_win(self):
+        sc = ScenarioSpec(family="tree", algorithm="cor46", seeds=[7, 9])
+        assert [t.seed for t in sc.trials()] == [7, 9]
+
+    def test_derive_seed_range(self):
+        for i in range(50):
+            s = derive_seed("x", i)
+            assert 0 <= s < 2**31
+
+    def test_grid_scenarios_cartesian(self):
+        spec = tiny_spec(num_seeds=3)
+        assert len(spec.scenarios) == 4
+        assert len(spec.trials()) == 12
+
+
+class TestExecuteTrial:
+    def test_record_shape_and_verification(self):
+        t = TrialSpec(family="forest_union", algorithm="cor46", seed=1,
+                      family_params={"n": 40, "a": 2})
+        rec = execute_trial(t.to_dict())
+        assert rec["key"] == t.key()
+        assert rec["metrics"]["verified"] is True
+        assert rec["metrics"]["colors"] >= 1
+        assert rec["metrics"]["n"] == 40
+        json.dumps(rec)  # the record must be JSON-serialisable for the cache
+
+    def test_unknown_algorithm(self):
+        t = TrialSpec(family="tree", algorithm="nope")
+        with pytest.raises(InvalidParameterError):
+            execute_trial(t.to_dict())
+
+    def test_unknown_family(self):
+        t = TrialSpec(family="nope", algorithm="cor46")
+        with pytest.raises(InvalidParameterError):
+            execute_trial(t.to_dict())
+
+    def test_bad_family_params(self):
+        t = TrialSpec(family="tree", algorithm="cor46",
+                      family_params={"bogus": 1})
+        with pytest.raises(InvalidParameterError):
+            execute_trial(t.to_dict())
+
+    def test_deterministic_metrics(self):
+        t = TrialSpec(family="forest_union", algorithm="luby_coloring",
+                      seed=5, family_params={"n": 40, "a": 2})
+        a = execute_trial(t.to_dict())["metrics"]
+        b = execute_trial(t.to_dict())["metrics"]
+        assert a == b
+
+
+class TestCache:
+    def test_put_get_and_persistence(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        assert cache.get("0" * 64) is None
+        rec = {"key": "ab" + "0" * 62, "trial": {}, "metrics": {"rounds": 3}}
+        cache.put(rec)
+        assert cache.get(rec["key"]) == rec
+        # a fresh instance reloads from disk
+        again = ResultCache(path)
+        assert again.get(rec["key"]) == rec
+        assert again.stats() == (1, 0)
+        assert len(again) == 1
+
+    def test_sharding_by_key_prefix(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put({"key": "aa" + "0" * 62, "metrics": {}})
+        cache.put({"key": "bb" + "0" * 62, "metrics": {}})
+        names = sorted(os.listdir(str(tmp_path / "cache")))
+        assert names == ["aa.jsonl", "bb.jsonl"]
+
+    def test_truncated_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        good = {"key": "cc" + "0" * 62, "metrics": {"rounds": 1}}
+        cache.put(good)
+        # simulate a crash mid-append: a truncated trailing line
+        with open(os.path.join(path, "cc.jsonl"), "a", encoding="utf-8") as fh:
+            fh.write('{"key": "cc11", "metr')
+        again = ResultCache(path)
+        assert again.get(good["key"]) == good
+        assert again.corrupt_lines == 1
+
+    def test_last_writer_wins_and_compact(self, tmp_path):
+        path = str(tmp_path / "cache")
+        cache = ResultCache(path)
+        key = "dd" + "0" * 62
+        cache.put({"key": key, "metrics": {"rounds": 1}})
+        cache.put({"key": key, "metrics": {"rounds": 2}})
+        again = ResultCache(path)
+        assert again.get(key)["metrics"]["rounds"] == 2
+        assert again.compact() == 1  # one shadowed line dropped
+        final = ResultCache(path)
+        assert final.get(key)["metrics"]["rounds"] == 2
+
+
+class TestRunner:
+    def test_second_run_is_fully_cached_with_identical_report(self, tmp_path):
+        """Acceptance: an identical re-invocation is served >= 90% from the
+        cache and aggregates to byte-identical output."""
+        spec = tiny_spec()
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_sweep(spec, cache=cache)
+        assert first.cache_hits == 0
+        assert first.cache_misses == first.num_trials == 8
+
+        cache2 = ResultCache(str(tmp_path / "cache"))
+        second = run_sweep(spec, cache=cache2)
+        assert second.num_trials == first.num_trials
+        assert second.hit_rate >= 0.9  # in fact 1.0
+        assert second.cache_misses == 0
+        assert report_table(second) == report_table(first)
+        for a, b in zip(first, second):
+            assert a.metrics == b.metrics
+
+    def test_no_cache_recomputes(self):
+        spec = tiny_spec(num_seeds=1)
+        res = run_sweep(spec)
+        assert res.cache_hits == 0
+        assert res.num_trials == 4
+        assert all(not tr.cached for tr in res)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        spec = tiny_spec(num_seeds=1)
+        serial = run_sweep(spec)
+        parallel = run_sweep(spec, workers=2)
+        assert [t.metrics for t in serial] == [t.metrics for t in parallel]
+
+    def test_results_in_spec_order(self):
+        spec = tiny_spec(num_seeds=1)
+        res = run_sweep(spec)
+        expected = [(t.family, t.algorithm, t.seed) for t in spec.trials()]
+        got = [(t.trial.family, t.trial.algorithm, t.trial.seed) for t in res]
+        assert got == expected
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        """A cache warmed by a prefix of the sweep only recomputes the rest."""
+        spec = tiny_spec()
+        half = SweepSpec("half", spec.scenarios[:2])
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_sweep(half, cache=cache)
+        full = run_sweep(spec, cache=ResultCache(str(tmp_path / "cache")))
+        assert full.cache_hits == len(half.trials())
+        assert full.cache_misses == full.num_trials - len(half.trials())
+
+
+class TestAggregate:
+    def test_percentile_interpolation(self):
+        vals = [1, 2, 3, 4]
+        assert percentile(vals, 0) == 1
+        assert percentile(vals, 100) == 4
+        assert percentile(vals, 50) == 2.5
+        assert percentile([5], 95) == 5
+
+    def test_percentile_domain(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_summarize_groups_and_stats(self):
+        spec = tiny_spec()
+        res = run_sweep(spec)
+        groups = summarize(res.results)
+        assert len(groups) == 4  # 2 families x 2 algorithms
+        for g in groups:
+            assert g.count == 2
+            assert g.stat("rounds", "p50") is not None
+            # booleans (verified) are not aggregated as numbers
+            assert "verified" not in g.metrics
+        kinds = {(g.group["family"], g.group["algorithm"]) for g in groups}
+        assert ("tree", "cor46") in kinds
+
+    def test_report_table_mixes_kinds(self):
+        res = run_sweep(tiny_spec(num_seeds=1))
+        table = report_table(res)
+        assert "colors p50" in table
+        assert "|MIS| p50" in table
+        assert "4 trials" in table
+
+
+class TestSweepCLI:
+    def _run(self, capsys, *extra):
+        rc = main(["sweep", "--n", "40", "--seeds", "1", "--workers", "1",
+                   *extra])
+        assert rc == 0
+        return capsys.readouterr().out
+
+    def test_sweep_twice_hits_cache_with_identical_report(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        out1 = self._run(capsys, "--cache-dir", cache, "--report")
+        assert "0 hit(s)" in out1
+        out2 = self._run(capsys, "--cache-dir", cache, "--report")
+        assert "(100% hit rate)" in out2
+        # identical aggregate table, modulo the wall-time summary line
+        table1 = [ln for ln in out1.splitlines() if not ln.startswith("sweep:")
+                  and "trial(s)" not in ln]
+        table2 = [ln for ln in out2.splitlines() if not ln.startswith("sweep:")
+                  and "trial(s)" not in ln]
+        assert table1 == table2
+
+    def test_sweep_no_cache(self, tmp_path, capsys):
+        out = self._run(capsys, "--no-cache")
+        assert "0 hit(s)" in out
+
+    def test_sweep_from_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(tiny_spec(n=30, num_seeds=1).to_json())
+        out = self._run(capsys, "--spec", str(spec_path), "--no-cache")
+        assert "tiny" in out
+
+
+@pytest.mark.slow
+def test_parallel_sweep_at_scale(tmp_path):
+    """Sweep-scale smoke test (excluded from tier-1 by the slow marker)."""
+    spec = SweepSpec(
+        "scale",
+        grid_scenarios(
+            families=[
+                {"name": "forest_union", "n": 600, "a": 8},
+                {"name": "planar", "n": 600},
+                {"name": "random_geometric", "n": 600, "radius": 0.05},
+                {"name": "hubs", "n": 600, "a": 3, "num_hubs": 4},
+            ],
+            algorithms=[
+                {"name": "cor46"}, {"name": "be08"},
+                {"name": "forests"}, {"name": "mis_arboricity"},
+            ],
+            num_seeds=3,
+        ),
+    )
+    cache = ResultCache(str(tmp_path / "cache"))
+    res = run_sweep(spec, cache=cache, workers=4)
+    assert res.num_trials == 48
+    assert all(tr.metrics["verified"] for tr in res)
+    again = run_sweep(spec, cache=ResultCache(str(tmp_path / "cache")))
+    assert again.hit_rate == 1.0

@@ -17,6 +17,7 @@ from repro.graphs import (
     planar_triangulation,
     preferential_attachment,
     pseudoarboricity,
+    random_geometric,
     random_regular,
     random_tree,
     ring,
@@ -142,6 +143,52 @@ class TestRandomGraphs:
     def test_erdos_renyi_extremes(self):
         assert erdos_renyi(20, 0.0, seed=1).graph.m == 0
         assert erdos_renyi(10, 1.0, seed=1).graph.m == 45
+
+    def test_random_geometric_edges_match_distances(self):
+        import math
+        import random as _random
+
+        n, radius, seed = 70, 0.2, 3
+        g = random_geometric(n, radius, seed=seed)
+        # regenerate the point set (same RNG discipline as the generator)
+        rng = _random.Random(seed)
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        expected = {
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if math.dist(points[u], points[v]) <= radius
+        }
+        assert {tuple(sorted(e)) for e in g.graph.edges} == expected
+
+    def test_random_geometric_bound_is_degeneracy(self):
+        g = random_geometric(120, 0.15, seed=4)
+        k, _ = degeneracy(g.graph)
+        assert g.arboricity_bound == max(1, k)
+        certified_bound_holds(g)
+
+    def test_random_geometric_deterministic(self):
+        a = random_geometric(50, 0.3, seed=11)
+        b = random_geometric(50, 0.3, seed=11)
+        assert set(a.graph.edges) == set(b.graph.edges)
+        c = random_geometric(50, 0.3, seed=12)
+        assert set(a.graph.edges) != set(c.graph.edges)
+
+    def test_random_geometric_radius_extremes(self):
+        # sqrt(2) spans the whole unit square: complete graph
+        full = random_geometric(12, 2**0.5, seed=0)
+        assert full.graph.m == 12 * 11 // 2
+        # a tiny radius yields an (almost) empty graph
+        sparse = random_geometric(30, 1e-9, seed=0)
+        assert sparse.graph.m == 0
+
+    def test_random_geometric_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            random_geometric(0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            random_geometric(10, 0.0)
+        with pytest.raises(InvalidParameterError):
+            random_geometric(10, 1.5)
 
     def test_preferential_attachment(self):
         g = preferential_attachment(80, 3, seed=7)

@@ -49,6 +49,12 @@ class _GreedyReductionProgram(NodeProgram):
         self._color = 0
         self._neighbor_colors: Dict[Vertex, int] = {}
 
+    def _sleep_until_my_class(self, ctx: NodeContext) -> None:
+        # Between neighbour announcements (message wake-ups) nothing changes
+        # until this vertex's own class is processed at round m - color.
+        ctx.wake_at(self._m - self._color)
+        ctx.idle_until_message()
+
     def on_start(self, ctx: NodeContext) -> None:
         self._color = int(self._color_of(ctx.node))
         if self._color >= self._m:
@@ -60,24 +66,28 @@ class _GreedyReductionProgram(NodeProgram):
             # This vertex keeps its color; neighbours got it just now and it
             # never needs to hear back, so it may halt immediately.
             ctx.halt(self._color)
+            return
+        self._sleep_until_my_class(ctx)
 
     def on_round(self, ctx: NodeContext) -> None:
         for sender, payload in ctx.inbox.items():
             self._neighbor_colors[sender] = payload
         processed_class = self._m - ctx.round_number
-        if self._color == processed_class:
-            used = set(self._neighbor_colors.values())
-            free = next(
-                (c for c in range(self._target) if c not in used), None
+        if self._color != processed_class:
+            self._sleep_until_my_class(ctx)
+            return
+        used = set(self._neighbor_colors.values())
+        free = next(
+            (c for c in range(self._target) if c not in used), None
+        )
+        if free is None:
+            raise SimulationError(
+                f"node {ctx.node}: no free color below target "
+                f"{self._target} (visible degree too high)"
             )
-            if free is None:
-                raise SimulationError(
-                    f"node {ctx.node}: no free color below target "
-                    f"{self._target} (visible degree too high)"
-                )
-            self._color = free
-            ctx.broadcast(self._color)
-            ctx.halt(self._color)
+        self._color = free
+        ctx.broadcast(self._color)
+        ctx.halt(self._color)
 
 
 def greedy_reduction(

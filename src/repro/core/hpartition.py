@@ -41,7 +41,13 @@ class HPartitionProgram(NodeProgram):
     def on_start(self, ctx: NodeContext) -> None:
         self._active_neighbors = set(ctx.neighbors)
         # Round 0 sends nothing: every vertex initially assumes all its
-        # neighbours are active, which is true.
+        # neighbours are active, which is true.  The active degree only
+        # drops when a departure announcement arrives, so the node sleeps
+        # between messages — except that a vertex already at or below the
+        # threshold leaves in round 1 unprompted.
+        if len(self._active_neighbors) <= self._threshold:
+            ctx.wake_at(1)
+        ctx.idle_until_message()
 
     def on_round(self, ctx: NodeContext) -> None:
         for sender, payload in ctx.inbox.items():
@@ -50,6 +56,8 @@ class HPartitionProgram(NodeProgram):
         if len(self._active_neighbors) <= self._threshold:
             ctx.broadcast(_LEAVING)
             ctx.halt(ctx.round_number)  # H-index = peeling iteration (1-based)
+        else:
+            ctx.idle_until_message()
 
 
 def degree_threshold(a: int, epsilon: float) -> int:

@@ -28,11 +28,20 @@ _JOINED = "joined-mis"
 
 
 class _ColorClassMISProgram(NodeProgram):
-    """Sweep color classes; join the MIS unless a neighbour already did."""
+    """Sweep color classes; join the MIS unless a neighbour already did.
+
+    Until its class comes up a node only reacts to a neighbour's "joined"
+    announcement, so it sleeps until a message arrives or round ``color``
+    is reached — on a sweep with many classes almost the whole network is
+    quiescent in any given round.
+    """
 
     def __init__(self, color_of: Callable[[Vertex], int]):
         self._color_of = color_of
-        self._blocked = False
+
+    def _sleep_until_my_class(self, ctx: NodeContext) -> None:
+        ctx.wake_at(self._color)
+        ctx.idle_until_message()
 
     def on_start(self, ctx: NodeContext) -> None:
         self._color = int(self._color_of(ctx.node))
@@ -41,6 +50,8 @@ class _ColorClassMISProgram(NodeProgram):
             # it joins immediately
             ctx.broadcast(_JOINED)
             ctx.halt(True)
+            return
+        self._sleep_until_my_class(ctx)
 
     def on_round(self, ctx: NodeContext) -> None:
         if any(payload == _JOINED for payload in ctx.inbox.values()):
@@ -49,6 +60,8 @@ class _ColorClassMISProgram(NodeProgram):
         if ctx.round_number == self._color:
             ctx.broadcast(_JOINED)
             ctx.halt(True)
+            return
+        self._sleep_until_my_class(ctx)
 
 
 def mis_from_coloring(

@@ -285,6 +285,9 @@ class _OrientationGreedyProgram(NodeProgram):
             )
         if not self._parents:
             self._decide(ctx)
+            return
+        # Nothing to do until a parent announces its color.
+        ctx.idle_until_message()
 
     def on_round(self, ctx: NodeContext) -> None:
         for sender, payload in ctx.inbox.items():
@@ -292,6 +295,8 @@ class _OrientationGreedyProgram(NodeProgram):
                 self._parent_colors[sender] = payload
         if len(self._parent_colors) == len(self._parents):
             self._decide(ctx)
+        else:
+            ctx.idle_until_message()
 
 
 def orientation_greedy_coloring(

@@ -52,11 +52,29 @@ class _RulingSetProgram(NodeProgram):
             ctx.halt(True)
             return
         self._announce(ctx, level=0)
+        self._sleep(ctx, after_level=0)
 
     def _announce(self, ctx: NodeContext, level: int) -> None:
         bit = (ctx.node >> level) & 1
         if self._is_ruler and bit == 0:
             ctx.broadcast((level, self._prefix_above(ctx, level)))
+
+    def _sleep(self, ctx: NodeContext, after_level: int) -> None:
+        """Sleep until the next level at which this node acts unprompted.
+
+        Unprompted action happens only at a level where the node announces
+        (it is a ruler and the level's bit is 0) and at level ``bits`` (the
+        halt); abdications in between are message-triggered, so the
+        scheduler's wake-on-message covers them.
+        """
+        wake = self._bits
+        if self._is_ruler:
+            for level in range(after_level + 1, self._bits):
+                if (ctx.node >> level) & 1 == 0:
+                    wake = level
+                    break
+        ctx.wake_at(wake)  # round number == level number throughout
+        ctx.idle_until_message()
 
     def on_round(self, ctx: NodeContext) -> None:
         level = ctx.round_number - 1  # the level whose announcements arrived
@@ -72,6 +90,7 @@ class _RulingSetProgram(NodeProgram):
             ctx.halt(self._is_ruler)
             return
         self._announce(ctx, level=next_level)
+        self._sleep(ctx, after_level=next_level)
 
 
 def ruling_set(

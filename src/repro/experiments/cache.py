@@ -28,13 +28,20 @@ atomic on POSIX.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from typing import Dict, Iterator, Optional, Tuple
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX: appends stay atomic, compaction unguarded
+    fcntl = None
+
 __all__ = ["ResultCache"]
 
 _SHARD_SUFFIX = ".jsonl"
+_LOCK_NAME = ".lock"
 
 
 class ResultCache:
@@ -53,6 +60,29 @@ class ResultCache:
         self.corrupt_lines = 0
 
     # -- loading -------------------------------------------------------
+    @staticmethod
+    def _read_shard(path: str) -> Tuple[Dict[str, dict], int, int]:
+        """Tolerantly parse one JSONL shard, merging last-writer-wins.
+
+        Returns ``(records, non_empty_lines, corrupt_lines)``; truncated or
+        malformed lines are skipped and counted, never fatal.
+        """
+        records: Dict[str, dict] = {}
+        raw = 0
+        corrupt = 0
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                raw += 1
+                try:
+                    rec = json.loads(line)
+                    records[rec["key"]] = rec
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    corrupt += 1
+        return records, raw, corrupt
+
     def _load(self) -> Dict[str, dict]:
         if self._records is not None:
             return self._records
@@ -61,16 +91,11 @@ class ResultCache:
             for name in sorted(os.listdir(self.path)):
                 if not name.endswith(_SHARD_SUFFIX):
                     continue
-                with open(os.path.join(self.path, name), "r", encoding="utf-8") as fh:
-                    for line in fh:
-                        line = line.strip()
-                        if not line:
-                            continue
-                        try:
-                            rec = json.loads(line)
-                            records[rec["key"]] = rec
-                        except (json.JSONDecodeError, KeyError, TypeError):
-                            self.corrupt_lines += 1
+                shard, _raw, corrupt = self._read_shard(
+                    os.path.join(self.path, name)
+                )
+                records.update(shard)
+                self.corrupt_lines += corrupt
         self._records = records
         return records
 
@@ -99,21 +124,47 @@ class ResultCache:
         self._load()[key] = record
         os.makedirs(self.path, exist_ok=True)
         line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-        fd = os.open(
-            self._shard_path(key), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
-        try:
-            # os.write may write fewer bytes than asked (signals, full disk);
-            # loop so a record is never left half-appended silently
-            view = memoryview(line)
-            while view:
-                written = os.write(fd, view)
-                view = view[written:]
-        finally:
-            os.close(fd)
+        with self._store_lock(shared=True):
+            fd = os.open(
+                self._shard_path(key),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                # os.write may write fewer bytes than asked (signals, full
+                # disk); loop so a record is never half-appended silently
+                view = memoryview(line)
+                while view:
+                    written = os.write(fd, view)
+                    view = view[written:]
+            finally:
+                os.close(fd)
 
     def _shard_path(self, key: str) -> str:
         return os.path.join(self.path, key[:2] + _SHARD_SUFFIX)
+
+    @contextlib.contextmanager
+    def _store_lock(self, shared: bool):
+        """Advisory reader/writer lock on the whole store.
+
+        Appends take it shared (they are already atomic with respect to one
+        another); :meth:`compact` takes it exclusive so no append can land
+        between a shard's re-read and the ``os.replace`` that rewrites it —
+        the one window where an append could still be lost.  Purely
+        advisory: only cache instances coordinate, and where ``fcntl`` is
+        unavailable the lock degrades to a no-op.
+        """
+        if fcntl is None:
+            yield
+            return
+        fd = os.open(
+            os.path.join(self.path, _LOCK_NAME), os.O_RDWR | os.O_CREAT, 0o644
+        )
+        try:
+            fcntl.flock(fd, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
 
     # -- maintenance ---------------------------------------------------
     def compact(self) -> int:
@@ -121,27 +172,38 @@ class ResultCache:
 
         Uses write-to-temp + ``os.replace`` so readers never observe a
         partially written shard.
+
+        Each shard is **re-read from disk** immediately before its rewrite
+        (merging last-writer-wins, exactly like loading does) rather than
+        rewritten from this process's in-memory view: appends are atomic,
+        so other writers may have added records after this process loaded,
+        and a memory-view rewrite would silently discard them.  The disk
+        log is a superset of the in-memory view (every ``put`` appends
+        before it returns), so the merged re-read loses nothing and the
+        in-memory view is refreshed with whatever newer records it finds.
+        The whole pass holds the store's exclusive advisory lock, which
+        appends take shared — so no append can land between a shard's
+        re-read and its replacement.
         """
         records = self._load()
-        by_shard: Dict[str, Dict[str, dict]] = {}
-        for key, rec in records.items():
-            by_shard.setdefault(key[:2], {})[key] = rec
         dropped = 0
         if not os.path.isdir(self.path):
             return 0
-        for name in sorted(os.listdir(self.path)):
-            if not name.endswith(_SHARD_SUFFIX):
-                continue
-            prefix = name[: -len(_SHARD_SUFFIX)]
-            shard = by_shard.get(prefix, {})
-            final = os.path.join(self.path, name)
-            with open(final, "r", encoding="utf-8") as fh:
-                dropped += sum(1 for ln in fh if ln.strip()) - len(shard)
-            tmp = final + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                for key in sorted(shard):
-                    fh.write(json.dumps(shard[key], sort_keys=True) + "\n")
-            os.replace(tmp, final)
+        with self._store_lock(shared=False):
+            for name in sorted(os.listdir(self.path)):
+                if not name.endswith(_SHARD_SUFFIX):
+                    continue
+                final = os.path.join(self.path, name)
+                # corrupt lines are part of `dropped`, and already counted
+                # in corrupt_lines by the load — don't double-count them
+                shard, raw_lines, _corrupt = self._read_shard(final)
+                dropped += raw_lines - len(shard)
+                records.update(shard)
+                tmp = final + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for key in sorted(shard):
+                        fh.write(json.dumps(shard[key], sort_keys=True) + "\n")
+                os.replace(tmp, final)
         return dropped
 
     def stats(self) -> Tuple[int, int]:

@@ -62,8 +62,14 @@ class SweepResult:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of trials served from the cache (0.0 when empty)."""
-        return self.cache_hits / self.num_trials if self.results else 0.0
+        """Fraction of *unique* trial keys served from the cache.
+
+        ``cache_hits``/``cache_misses`` count unique keys, not trial
+        occurrences: a sweep listing the same trial twice computes (or
+        fetches) it once, so it contributes once here.  0.0 when empty.
+        """
+        unique = self.cache_hits + self.cache_misses
+        return self.cache_hits / unique if unique else 0.0
 
     def __iter__(self):
         return iter(self.results)
@@ -127,24 +133,23 @@ def run_sweep(
         say(f"{spec.name}: all {len(trials)} trial(s) served from cache")
 
     results = []
-    hits = misses = 0
     for trial in trials:
         rec = records[trial.key()]
-        cached = trial.key() in cached_keys
-        hits += cached
-        misses += not cached
         results.append(
             TrialResult(
                 trial=trial,
                 metrics=dict(rec["metrics"]),
-                cached=cached,
+                cached=trial.key() in cached_keys,
                 elapsed_s=float(rec.get("elapsed_s", 0.0)),
             )
         )
+    # Hit/miss accounting is per unique key: a duplicated trial is computed
+    # once, so counting each occurrence would overstate the misses and skew
+    # the hit rate.
     return SweepResult(
         name=spec.name,
         results=results,
-        cache_hits=hits,
-        cache_misses=misses,
+        cache_hits=len(cached_keys),
+        cache_misses=len(pending),
         wall_s=time.perf_counter() - t0,
     )

@@ -10,6 +10,25 @@ world, and it enforces the information constraints of the LOCAL model:
   arrived at the *start* of the current round;
 * it cannot inspect any other node's state.
 
+Quiescence declarations
+-----------------------
+
+A program that has nothing to do until something external happens can tell
+the scheduler so: :meth:`NodeContext.idle_until_message` promises that —
+until a message arrives — activating the node would be a no-op (no sends,
+no halt, no observable state change).  :meth:`NodeContext.wake_at` /
+:meth:`NodeContext.wake_in` additionally schedule a self-wakeup at a known
+future round (e.g. "my color class is processed at round c").  The
+event-driven scheduler uses these declarations to skip pointless
+activations; the dense reference scheduler ignores them and activates every
+running node each round, which is how the equivalence suite validates that
+a declaration really was a no-op promise.
+
+Declarations are *per-activation*: they cover the gap until the node's next
+activation only, and every activation (message delivery, wakeup, or a dense-
+mode round) clears them — a program that wants to stay quiescent re-declares
+before returning.
+
 Neighbour visibility is how the library realises the paper's "recurse in
 parallel on all subgraphs": when an algorithm runs restricted to a vertex
 part, each node's context only exposes the neighbours inside the same part,
@@ -37,6 +56,8 @@ class NodeContext:
         "output",
         "_neighbor_set",
         "round_number",
+        "_idle_requested",
+        "_wake_round",
     )
 
     def __init__(
@@ -55,6 +76,8 @@ class NodeContext:
         self._halted = False
         self.output: Any = None
         self.round_number = 0
+        self._idle_requested = False
+        self._wake_round: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -98,8 +121,49 @@ class NodeContext:
         self.output = output
 
     # ------------------------------------------------------------------
+    def idle_until_message(self) -> None:
+        """Declare quiescence until the next inbound message (or wakeup).
+
+        This is a *promise*: were the node activated anyway with an empty
+        inbox before then, ``on_round`` would send nothing, not halt, and
+        change no observable state.  The event scheduler skips such
+        activations; the dense scheduler performs them, so a program that
+        breaks the promise diverges between the modes and fails the
+        equivalence suite.  The declaration lasts until the node's next
+        activation — re-declare to keep sleeping.
+        """
+        self._idle_requested = True
+
+    def wake_at(self, round_number: int) -> None:
+        """Request a self-wakeup at the absolute round ``round_number``.
+
+        Combined with :meth:`idle_until_message` this bounds the sleep: the
+        node is activated by whichever comes first, a message or the wakeup
+        round.  A wakeup in the past (or at the current round) means "next
+        round".  Without an idle declaration the node is activated every
+        round anyway and the wakeup is moot.  Cleared by every activation.
+        """
+        self._wake_round = max(int(round_number), self.round_number + 1)
+
+    def wake_in(self, rounds: int) -> None:
+        """Request a self-wakeup ``rounds`` rounds from the current one."""
+        self.wake_at(self.round_number + max(1, int(rounds)))
+
+    # ------------------------------------------------------------------
     def drain_outbox(self) -> List[Tuple[Vertex, Any]]:
         """Internal: hand queued messages to the simulator and clear them."""
         out = self._outbox
         self._outbox = []
         return out
+
+    def consume_schedule(self) -> Tuple[bool, Optional[int]]:
+        """Internal: read and clear this activation's quiescence declaration.
+
+        Returns ``(idle_requested, wake_round)``; the scheduler calls this
+        exactly once after each activation (both modes clear the flags so a
+        declaration never outlives one activation).
+        """
+        idle, wake = self._idle_requested, self._wake_round
+        self._idle_requested = False
+        self._wake_round = None
+        return idle, wake

@@ -34,17 +34,26 @@ class Envelope:
 def payload_size(payload: Any) -> int:
     """Estimate the size of a payload in bytes.
 
-    This is a proxy (the repr length for compound objects, proper bit-length
+    This is a proxy (the repr length for opaque objects, proper bit-length
     for ints), good enough to compare the communication volume of different
     algorithms; it is not a wire format.
+
+    Integers are sized by magnitude plus one sign bit when negative (so
+    ``-255`` needs 9 bits = 2 bytes while ``255`` fits in 1).  Sets and
+    frozensets are sized element-wise like tuples — never via ``repr``,
+    whose length depends on hash iteration order and would make byte
+    accounting nondeterministic.
     """
     if payload is None:
         return 0
     if isinstance(payload, bool):
         return 1
     if isinstance(payload, int):
-        return max(1, (payload.bit_length() + 7) // 8)
+        bits = payload.bit_length() + (1 if payload < 0 else 0)
+        return max(1, (bits + 7) // 8)
     if isinstance(payload, (tuple, list)):
+        return sum(payload_size(item) for item in payload) + 1
+    if isinstance(payload, (set, frozenset)):
         return sum(payload_size(item) for item in payload) + 1
     if isinstance(payload, dict):
         return (

@@ -11,6 +11,34 @@ of communication rounds that elapse until every participating node halts.  A
 protocol in which every node decides locally and halts without communicating
 costs 0 rounds.
 
+Schedulers
+----------
+
+Two execution engines produce byte-identical :class:`RunResult`\\ s:
+
+* ``"dense"`` — the reference implementation: every still-running node is
+  activated in every round, in ascending vertex order.  This is the model
+  definition made literal, and it is what validates the fast path.
+* ``"event"`` (default) — the active-set, event-driven fast path: the
+  deterministic activation order is precomputed once, and a node that has
+  declared quiescence (:meth:`~repro.simulator.context.NodeContext.
+  idle_until_message`, optionally bounded by
+  :meth:`~repro.simulator.context.NodeContext.wake_at`) is only activated
+  in rounds where it has pending inbox messages or a due self-wakeup.
+  Rounds in which *no* node is activatable are fast-forwarded in O(1),
+  so sparse-activity executions (ruling-set stalls, color-class sweeps,
+  recursive decompositions waiting on a deep part) cost proportional to
+  the activity, not to rounds × nodes.
+
+The equivalence rests on the quiescence contract: an idle declaration
+promises that activating the node with an empty inbox would be a no-op.
+Programs that never declare idleness behave identically under both
+schedulers by construction (same activation sequence, same delivery).
+Round, message, and byte accounting are shared, so the observable
+``RunResult`` — outputs, rounds, messages, bytes — is identical; the
+parametrised equivalence suite (``tests/test_scheduler_equivalence.py``)
+enforces this across the whole algorithm library.
+
 Parallel composition on subgraphs
 ---------------------------------
 
@@ -24,6 +52,7 @@ count is the max over parts, exactly like real parallel execution.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -40,6 +69,9 @@ ProgramFactory = Callable[[], NodeProgram]
 #: Default cap on rounds; generous enough for every algorithm in the library
 #: on any reasonable input while still catching non-terminating programs.
 DEFAULT_ROUND_LIMIT_FACTOR = 50
+
+#: Valid values for the ``scheduler`` argument.
+SCHEDULERS = ("event", "dense")
 
 
 @dataclass
@@ -66,10 +98,20 @@ class RunResult:
 
 
 class SynchronousNetwork:
-    """A network of processors, one per vertex of an undirected graph."""
+    """A network of processors, one per vertex of an undirected graph.
 
-    def __init__(self, graph: Graph):
+    ``scheduler`` selects the default execution engine for every
+    :meth:`run` on this network (overridable per run): ``"event"`` (the
+    fast path, default) or ``"dense"`` (the reference engine).
+    """
+
+    def __init__(self, graph: Graph, scheduler: str = "event"):
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
         self.graph = graph
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------
     def run(
@@ -82,6 +124,7 @@ class SynchronousNetwork:
         round_limit: Optional[int] = None,
         count_bytes: bool = False,
         trace: Optional["MessageTrace"] = None,
+        scheduler: Optional[str] = None,
     ) -> RunResult:
         """Execute one node program to completion on (a subgraph of) the net.
 
@@ -104,14 +147,25 @@ class SynchronousNetwork:
         round_limit:
             Maximum number of rounds before
             :class:`~repro.errors.RoundLimitExceeded` is raised.  Defaults to
-            ``DEFAULT_ROUND_LIMIT_FACTOR * n + 1000``.
+            ``DEFAULT_ROUND_LIMIT_FACTOR * n + 1000``.  The event scheduler
+            raises the same exception *eagerly* when every running node is
+            asleep with no message in flight and no wakeup scheduled — a
+            state the dense engine could only exit at the limit.
         count_bytes:
             When true, payload sizes are estimated (slower); otherwise only
             message counts are tracked.
         trace:
             Optional :class:`~repro.simulator.tracing.MessageTrace` that
             records every message (round, endpoints, payload, size).
+        scheduler:
+            ``"event"`` or ``"dense"``; defaults to the network's scheduler.
+            Both produce byte-identical results (see module docstring).
         """
+        mode = scheduler if scheduler is not None else self.scheduler
+        if mode not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {mode!r}; expected one of {SCHEDULERS}"
+            )
         graph = self.graph
         if participants is None:
             active_set = set(graph.vertices)
@@ -126,11 +180,15 @@ class SynchronousNetwork:
         gp: Dict[str, Any] = dict(global_params or {})
         gp.setdefault("n", graph.n)
 
+        # The deterministic activation order, computed exactly once: nodes
+        # are always activated in ascending vertex order within a round.
+        order: Tuple[Vertex, ...] = tuple(sorted(active_set))
+
         # Build contexts with visibility filtered to participants (and to the
         # same part when a labeling is given).
         contexts: Dict[Vertex, NodeContext] = {}
         programs: Dict[Vertex, NodeProgram] = {}
-        for v in sorted(active_set):
+        for v in order:
             if part_of is not None:
                 label = part_of.get(v)
                 visible = tuple(
@@ -165,34 +223,122 @@ class SynchronousNetwork:
                     trace.record(current_round, sender, dest, payload)
                 pending.setdefault(dest, {})[sender] = payload
 
+        # Event-scheduler state.  ``awake`` holds the running nodes that have
+        # NOT declared idleness (they are activated every round); ``wake_round``
+        # is the authoritative wakeup book, ``wake_heap`` its lazy min-heap
+        # (stale entries are skipped on pop).
+        awake = set(active_set)
+        wake_round: Dict[Vertex, int] = {}
+        wake_heap: List[Tuple[int, int]] = []  # (round, order-rank)
+        rank = {v: i for i, v in enumerate(order)}
+
+        def note_schedule(v: Vertex, ctx: NodeContext) -> None:
+            """Record one activation's quiescence declaration (event mode)."""
+            idle, wake = ctx.consume_schedule()
+            if ctx.halted:
+                return
+            if idle:
+                awake.discard(v)
+            else:
+                awake.add(v)
+            if wake is not None:
+                wake_round[v] = wake
+                heapq.heappush(wake_heap, (wake, rank[v]))
+
         # Round 0: on_start for everyone, no inbound messages yet.
-        for v in sorted(active_set):
+        for v in order:
             ctx = contexts[v]
             programs[v].on_start(ctx)
             dispatch(v, ctx)
+            if mode == "event":
+                note_schedule(v, ctx)
+            else:
+                ctx.consume_schedule()
             if ctx.halted:
                 running.discard(v)
+                awake.discard(v)
 
         rounds = 0
-        while running:
-            if rounds >= round_limit:
-                raise RoundLimitExceeded(round_limit, len(running))
-            rounds += 1
-            current_round = rounds
-            delivery = pending
-            pending = {}
-            # Activate nodes in id order for determinism; order cannot matter
-            # semantically because all sends land in the *next* round.
-            for v in sorted(running):
-                ctx = contexts[v]
-                ctx.inbox = delivery.get(v, {})
-                ctx.round_number = rounds
-                programs[v].on_round(ctx)
-                dispatch(v, ctx)
-            for v in list(running):
-                if contexts[v].halted:
-                    running.discard(v)
-            # Messages addressed to halted nodes are dropped silently.
+        if mode == "dense":
+            while running:
+                if rounds >= round_limit:
+                    raise RoundLimitExceeded(round_limit, len(running))
+                rounds += 1
+                current_round = rounds
+                delivery = pending
+                pending = {}
+                for v in order:
+                    if v not in running:
+                        continue
+                    ctx = contexts[v]
+                    ctx.inbox = delivery.get(v, {})
+                    ctx.round_number = rounds
+                    programs[v].on_round(ctx)
+                    dispatch(v, ctx)
+                    ctx.consume_schedule()
+                for v in list(running):
+                    if contexts[v].halted:
+                        running.discard(v)
+                # Messages addressed to halted nodes are dropped silently.
+        else:
+            while running:
+                # Pick the next round in which anything can happen.  With a
+                # non-idle node or a message in flight that is the very next
+                # round; otherwise fast-forward to the earliest wakeup.
+                if awake or pending:
+                    next_round = rounds + 1
+                else:
+                    next_round = None
+                    while wake_heap:
+                        r, i = wake_heap[0]
+                        v = order[i]
+                        if v in running and wake_round.get(v) == r:
+                            next_round = max(r, rounds + 1)
+                            break
+                        heapq.heappop(wake_heap)  # stale entry
+                    if next_round is None:
+                        # Every running node sleeps forever: the dense engine
+                        # could only exit this state at the round limit, so
+                        # fail the same way — just without the wait.
+                        raise RoundLimitExceeded(round_limit, len(running))
+                if next_round > round_limit:
+                    raise RoundLimitExceeded(round_limit, len(running))
+                rounds = next_round
+                current_round = rounds
+                delivery = pending
+                pending = {}
+                # Activatable this round: every awake node, every node with
+                # mail, and every node whose wakeup is due.
+                cand = set(awake)
+                for v in delivery:
+                    if v in running:
+                        cand.add(v)
+                while wake_heap and wake_heap[0][0] <= rounds:
+                    r, i = heapq.heappop(wake_heap)
+                    v = order[i]
+                    if v in running and wake_round.get(v) == r:
+                        cand.add(v)
+                # Deterministic ascending-id activation without re-sorting
+                # the whole running set: sort the candidates when they are
+                # few, walk the precomputed order when most nodes are active.
+                if len(cand) * 4 < len(order):
+                    schedule = sorted(cand)
+                else:
+                    schedule = (v for v in order if v in cand)
+                for v in schedule:
+                    ctx = contexts[v]
+                    wake_round.pop(v, None)  # any activation clears the wakeup
+                    ctx.inbox = delivery.get(v, {})
+                    ctx.round_number = rounds
+                    programs[v].on_round(ctx)
+                    dispatch(v, ctx)
+                    note_schedule(v, ctx)
+                for v in cand:
+                    if contexts[v].halted:
+                        running.discard(v)
+                        awake.discard(v)
+                        wake_round.pop(v, None)
+                # Messages addressed to halted nodes are dropped silently.
 
         outputs = {v: contexts[v].output for v in active_set}
         return RunResult(

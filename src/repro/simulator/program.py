@@ -19,6 +19,21 @@ Lifecycle
 
 State belongs on the program instance (``self``): each vertex has its own
 instance, so instance attributes are exactly the node's local memory.
+
+Quiescence (the event scheduler's contract)
+-------------------------------------------
+
+By default a running node is activated in every round.  A program that
+spends rounds waiting — for a message, or for a known future round — may
+declare that with ``ctx.idle_until_message()`` (optionally bounded by
+``ctx.wake_at(r)`` / ``ctx.wake_in(k)``).  The declaration is a promise
+that an activation with an empty inbox before the wakeup would be a no-op;
+the event scheduler then skips those activations entirely, while the dense
+reference scheduler still performs them (and thereby checks the promise:
+a program that breaks it produces diverging results between the modes).
+Declarations last until the node's next activation; re-declare each time.
+Semantics — outputs, round counts, message counts — are identical under
+both schedulers for any program honouring the contract.
 """
 
 from __future__ import annotations

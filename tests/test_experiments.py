@@ -136,7 +136,10 @@ class TestCache:
         cache = ResultCache(str(tmp_path / "cache"))
         cache.put({"key": "aa" + "0" * 62, "metrics": {}})
         cache.put({"key": "bb" + "0" * 62, "metrics": {}})
-        names = sorted(os.listdir(str(tmp_path / "cache")))
+        names = sorted(
+            n for n in os.listdir(str(tmp_path / "cache"))
+            if n.endswith(".jsonl")
+        )
         assert names == ["aa.jsonl", "bb.jsonl"]
 
     def test_truncated_line_is_tolerated(self, tmp_path):
@@ -162,6 +165,31 @@ class TestCache:
         assert again.compact() == 1  # one shadowed line dropped
         final = ResultCache(path)
         assert final.get(key)["metrics"]["rounds"] == 2
+
+    def test_compact_keeps_concurrent_writer_records(self, tmp_path):
+        """Regression: compact() must not rewrite shards from a stale
+        in-memory view — a second writer's appends landed on disk after
+        this process loaded, and used to be silently discarded."""
+        path = str(tmp_path / "cache")
+        writer_a = ResultCache(path)
+        key_old = "ee" + "0" * 62
+        writer_a.put({"key": key_old, "metrics": {"rounds": 1}})  # a is loaded
+
+        # a second process appends to the same shard and shadows a's record
+        writer_b = ResultCache(path)
+        key_new = "ee" + "1" * 62
+        writer_b.put({"key": key_new, "metrics": {"rounds": 9}})
+        writer_b.put({"key": key_old, "metrics": {"rounds": 2}})
+
+        dropped = writer_a.compact()  # stale view: must re-read, not rewrite
+        assert dropped == 1  # only the shadowed key_old line goes
+
+        fresh = ResultCache(path)
+        assert fresh.get(key_new)["metrics"]["rounds"] == 9
+        assert fresh.get(key_old)["metrics"]["rounds"] == 2
+        # and the compacting instance refreshed its own view from disk
+        assert writer_a.get(key_new)["metrics"]["rounds"] == 9
+        assert writer_a.get(key_old)["metrics"]["rounds"] == 2
 
 
 class TestRunner:
@@ -202,6 +230,28 @@ class TestRunner:
         expected = [(t.family, t.algorithm, t.seed) for t in spec.trials()]
         got = [(t.trial.family, t.trial.algorithm, t.trial.seed) for t in res]
         assert got == expected
+
+    def test_duplicate_trials_counted_once(self, tmp_path):
+        """Regression: a sweep listing the same trial twice computes it once
+        and must account exactly one miss (not one per occurrence)."""
+        dup = SweepSpec(
+            "dup",
+            [ScenarioSpec(family="tree", algorithm="cor46",
+                          family_params={"n": 30}, seeds=[3, 3])],
+        )
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_sweep(dup, cache=cache)
+        assert first.num_trials == 2  # both occurrences are reported...
+        assert first.cache_misses == 1  # ...but the unique key missed once
+        assert first.cache_hits == 0
+        assert first.hit_rate == 0.0
+        assert first.results[0].metrics == first.results[1].metrics
+
+        second = run_sweep(dup, cache=ResultCache(str(tmp_path / "cache")))
+        assert second.cache_hits == 1
+        assert second.cache_misses == 0
+        assert second.hit_rate == 1.0
+        assert all(tr.cached for tr in second)
 
     def test_interrupted_sweep_resumes(self, tmp_path):
         """A cache warmed by a prefix of the sweep only recomputes the rest."""

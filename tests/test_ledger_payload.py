@@ -27,7 +27,24 @@ class TestPayloadSize:
         assert payload_size(255) == 1
         assert payload_size(256) == 2
         assert payload_size(1 << 16) == 3
-        assert payload_size(-5) == 1  # magnitude, sign not modelled
+
+    def test_negative_int_pays_a_sign_bit(self):
+        # magnitude bits + 1 sign bit: -5 still fits a byte, -255 does not
+        assert payload_size(-5) == 1
+        assert payload_size(-127) == 1  # 7 + 1 = 8 bits
+        assert payload_size(-128) == 2  # 8 + 1 = 9 bits
+        assert payload_size(-255) == 2
+        assert payload_size(-(1 << 16)) == 3  # 17 + 1 = 18 bits
+
+    def test_sets_sized_by_element_not_repr(self):
+        # like tuples: elements + 1 byte container overhead
+        assert payload_size({1, 2, 3}) == 4
+        assert payload_size(frozenset({1, 2, 3})) == 4
+        assert payload_size(set()) == 1
+        # deterministic regardless of element magnitude/iteration order
+        big = {1 << 40, 3, 7, 1 << 20}
+        assert payload_size(big) == payload_size(tuple(sorted(big)))
+        assert payload_size({(1, 2), (3, 4)}) == 2 * 3 + 1
 
     def test_string_utf8(self):
         assert payload_size("abc") == 3

@@ -1,0 +1,161 @@
+"""Dense vs. event scheduler equivalence across the algorithm library.
+
+The event-driven fast path must be an *observationally invisible*
+optimisation: for every algorithm on every instance, the ``dense``
+reference scheduler and the ``event`` scheduler must produce byte-identical
+results — the same outputs, the same round count (the paper's complexity
+measure!), the same message and byte accounting.  All result types are
+dataclasses, so ``==`` compares every field including nested params.
+
+The suite runs every ``core/`` algorithm under both modes on a
+forest-union, a planar-triangulation, and a preferential-attachment
+instance; a separate test checks raw :class:`RunResult` equality (all five
+fields, with byte counting on) for programs that declare quiescence.
+"""
+
+import pytest
+
+from repro import SynchronousNetwork
+from repro.core import (
+    arb_kuhn_decomposition,
+    arbdefective_coloring,
+    be08_coloring,
+    cole_vishkin_forest,
+    complete_orientation,
+    compute_hpartition,
+    delta_plus_one_via_arboricity,
+    forest_mis,
+    forests_decomposition,
+    kuhn_defective_coloring,
+    legal_coloring_auto,
+    legal_coloring_corollary44,
+    legal_coloring_corollary46,
+    legal_coloring_theorem43,
+    legal_coloring_tradeoff45,
+    linial_coloring,
+    luby_coloring,
+    luby_mis,
+    mis_arboricity,
+    oneshot_legal_coloring,
+    partial_orientation,
+    root_forest_by_bfs,
+    ruling_set,
+    theorem52_fast_coloring,
+    theorem53_tradeoff,
+)
+from repro.graphs import (
+    forest_union,
+    planar_triangulation,
+    preferential_attachment,
+    random_tree,
+)
+
+INSTANCES = [
+    ("forest_union", lambda: forest_union(150, 3, seed=21)),
+    ("planar", lambda: planar_triangulation(110, seed=22)),
+    ("preferential", lambda: preferential_attachment(130, 3, seed=23)),
+]
+
+ALGORITHMS = [
+    ("hpartition", lambda net, a: compute_hpartition(net, a)),
+    ("forests", lambda net, a: forests_decomposition(net, a)),
+    ("complete_orientation", lambda net, a: complete_orientation(net, a)),
+    ("partial_orientation", lambda net, a: partial_orientation(net, a, t=2)),
+    ("arbdefective", lambda net, a: arbdefective_coloring(net, a, k=2, t=2)),
+    ("arb_kuhn", lambda net, a: arb_kuhn_decomposition(net, a, defect=2)),
+    ("thm52", lambda net, a: theorem52_fast_coloring(net, a, d=2)),
+    ("thm53", lambda net, a: theorem53_tradeoff(net, a, t=2)),
+    ("oneshot_legal", lambda net, a: oneshot_legal_coloring(net, a)),
+    ("thm43", lambda net, a: legal_coloring_theorem43(net, a, mu=0.5)),
+    ("cor44", lambda net, a: legal_coloring_corollary44(net, a, mu=0.5)),
+    ("tradeoff45", lambda net, a: legal_coloring_tradeoff45(net, a, f_value=4)),
+    ("cor46", lambda net, a: legal_coloring_corollary46(net, a, eta=0.5)),
+    ("delta_plus_one", lambda net, a: delta_plus_one_via_arboricity(net, a)),
+    ("auto", lambda net, a: legal_coloring_auto(net)),
+    ("linial", lambda net, a: linial_coloring(net)),
+    ("kuhn_defective", lambda net, a: kuhn_defective_coloring(net, p=3)),
+    ("mis_arboricity", lambda net, a: mis_arboricity(net, a)),
+    ("luby_mis", lambda net, a: luby_mis(net, seed=5)),
+    ("ruling_set", lambda net, a: ruling_set(net)),
+    ("be08", lambda net, a: be08_coloring(net, a)),
+    ("luby_coloring", lambda net, a: luby_coloring(net, seed=5)),
+]
+
+
+@pytest.fixture(scope="module", params=INSTANCES, ids=lambda p: p[0])
+def instance(request):
+    gen = request.param[1]()
+    return (
+        gen,
+        SynchronousNetwork(gen.graph, scheduler="dense"),
+        SynchronousNetwork(gen.graph, scheduler="event"),
+    )
+
+
+@pytest.mark.parametrize("name,algo", ALGORITHMS, ids=[a[0] for a in ALGORITHMS])
+def test_dense_and_event_agree(instance, name, algo):
+    gen, dense_net, event_net = instance
+    a = gen.arboricity_bound
+    dense = algo(dense_net, a)
+    event = algo(event_net, a)
+    # dataclass equality: every field, including rounds and nested params
+    assert dense == event
+
+
+def test_forest_programs_agree():
+    gen = random_tree(90, seed=31)
+    parent_of = root_forest_by_bfs(gen.graph)
+    dense_net = SynchronousNetwork(gen.graph, scheduler="dense")
+    event_net = SynchronousNetwork(gen.graph, scheduler="event")
+    assert cole_vishkin_forest(dense_net, parent_of) == cole_vishkin_forest(
+        event_net, parent_of
+    )
+    assert forest_mis(dense_net, parent_of) == forest_mis(event_net, parent_of)
+
+
+@pytest.mark.parametrize("inst_name,make", INSTANCES, ids=[i[0] for i in INSTANCES])
+def test_run_results_byte_identical(inst_name, make):
+    """Raw RunResult equality — all five fields, byte accounting on — for a
+    pipeline whose programs all declare quiescence (H-partition feeding the
+    color-class MIS sweep via the full Theorem 4.3 stack)."""
+    from repro.core.hpartition import HPartitionProgram, degree_threshold
+    from repro.core.mis import _ColorClassMISProgram
+    from repro.core.legal import legal_coloring_theorem43
+
+    gen = make()
+    net_dense = SynchronousNetwork(gen.graph, scheduler="dense")
+    net_event = SynchronousNetwork(gen.graph, scheduler="event")
+    threshold = degree_threshold(gen.arboricity_bound, 0.5)
+
+    r_dense = net_dense.run(
+        lambda: HPartitionProgram(threshold), count_bytes=True
+    )
+    r_event = net_event.run(
+        lambda: HPartitionProgram(threshold), count_bytes=True
+    )
+    assert r_dense == r_event  # outputs, rounds, messages, bytes, max bytes
+
+    coloring = legal_coloring_theorem43(net_event, gen.arboricity_bound, 0.5)
+    normalized = coloring.normalized()
+    sweep = lambda net: net.run(
+        lambda: _ColorClassMISProgram(lambda v: normalized.colors[v]),
+        count_bytes=True,
+    )
+    assert sweep(net_dense) == sweep(net_event)
+
+
+def test_per_run_scheduler_override():
+    """run(scheduler=...) overrides the network default, and an invalid
+    name is rejected."""
+    from repro.errors import SimulationError
+
+    gen = forest_union(60, 2, seed=7)
+    net = SynchronousNetwork(gen.graph)  # event by default
+    assert net.scheduler == "event"
+    a = ruling_set(net)
+    dense = SynchronousNetwork(gen.graph, scheduler="dense")
+    assert ruling_set(dense) == a
+    with pytest.raises(SimulationError):
+        net.run(lambda: None, scheduler="bogus")
+    with pytest.raises(SimulationError):
+        SynchronousNetwork(gen.graph, scheduler="bogus")

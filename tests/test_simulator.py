@@ -225,6 +225,126 @@ class TestLedger:
         assert outer.breakdown() == {"sub/x": 4}
 
 
+class TestEventScheduler:
+    """Semantics of quiescence declarations under the event fast path."""
+
+    def test_sleeper_woken_by_message(self):
+        """An idle node is activated exactly when its mail arrives."""
+
+        class Sleeper(NodeProgram):
+            def on_start(self, ctx):
+                ctx.idle_until_message()
+
+            def on_round(self, ctx):
+                assert ctx.inbox, "idle node activated without messages"
+                ctx.halt((ctx.round_number, dict(ctx.inbox)))
+
+        class SlowSender(NodeProgram):
+            def on_start(self, ctx):
+                pass
+
+            def on_round(self, ctx):
+                if ctx.round_number == 3:
+                    ctx.broadcast("now")
+                    ctx.halt("sent")
+
+        g = Graph(range(2), [(0, 1)])
+        instances = iter([Sleeper(), SlowSender()])
+        result = SynchronousNetwork(g, scheduler="event").run(
+            lambda: next(instances)
+        )
+        assert result.outputs[0] == (4, {1: "now"})
+        assert result.rounds == 4
+
+    def test_wake_at_fast_forwards_empty_rounds(self):
+        """With every node asleep, the scheduler jumps to the wakeup round;
+        the round count still matches the dense reference."""
+
+        class Napper(NodeProgram):
+            def on_start(self, ctx):
+                ctx.wake_at(500)
+                ctx.idle_until_message()
+
+            def on_round(self, ctx):
+                # honours the contract: a no-op until the declared wakeup
+                if ctx.round_number >= 500:
+                    ctx.halt(ctx.round_number)
+                else:
+                    ctx.wake_at(500)
+                    ctx.idle_until_message()
+
+        g = Graph(range(3), [])
+        for mode in ("event", "dense"):
+            result = SynchronousNetwork(g, scheduler=mode).run(Napper)
+            assert result.rounds == 500
+            assert set(result.outputs.values()) == {500}
+
+    def test_declarations_are_per_activation(self):
+        """A woken node that does not re-declare idleness runs every round."""
+        activations = []
+
+        class OneNap(NodeProgram):
+            def on_start(self, ctx):
+                ctx.wake_in(5)
+                ctx.idle_until_message()
+
+            def on_round(self, ctx):
+                activations.append(ctx.round_number)
+                if ctx.round_number >= 8:
+                    ctx.halt()
+
+        g = Graph(range(1), [])
+        SynchronousNetwork(g, scheduler="event").run(OneNap)
+        # asleep for rounds 1-4, then awake every round until halting
+        assert activations == [5, 6, 7, 8]
+
+    def test_quiescent_deadlock_raises_eagerly(self):
+        """All nodes asleep, no mail, no wakeup: the dense engine could only
+        exit at the round limit, so the event engine raises the same error
+        immediately."""
+
+        class ForeverAsleep(NodeProgram):
+            def on_start(self, ctx):
+                ctx.idle_until_message()
+
+            def on_round(self, ctx):
+                ctx.idle_until_message()
+
+        g = Graph(range(4), [])
+        with pytest.raises(RoundLimitExceeded) as exc:
+            SynchronousNetwork(g, scheduler="event").run(
+                ForeverAsleep, round_limit=99
+            )
+        assert exc.value.limit == 99
+        assert exc.value.still_running == 4
+
+    def test_wake_beyond_round_limit_raises(self):
+        class Oversleeper(NodeProgram):
+            def on_start(self, ctx):
+                ctx.wake_at(1000)
+                ctx.idle_until_message()
+
+            def on_round(self, ctx):  # pragma: no cover
+                ctx.halt()
+
+        g = Graph(range(2), [])
+        with pytest.raises(RoundLimitExceeded):
+            SynchronousNetwork(g, scheduler="event").run(
+                Oversleeper, round_limit=10
+            )
+
+    def test_event_is_default_and_matches_dense_for_plain_programs(self):
+        g = Graph(range(4), [(0, 1), (1, 2), (2, 3)])
+        assert SynchronousNetwork(g).scheduler == "event"
+        dense = SynchronousNetwork(g, scheduler="dense").run(
+            SumNeighborsProgram, count_bytes=True
+        )
+        event = SynchronousNetwork(g, scheduler="event").run(
+            SumNeighborsProgram, count_bytes=True
+        )
+        assert dense == event
+
+
 class TestFunctionProgram:
     def test_start_only(self):
         g = Graph(range(2), [])

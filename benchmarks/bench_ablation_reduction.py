@@ -7,7 +7,6 @@ O(Δ log(m/Δ)) vs m − Δ − 1 — which is what keeps Complete-Orientation's
 level coloring affordable.
 """
 
-import pytest
 
 from conftest import run_once
 from repro import SynchronousNetwork

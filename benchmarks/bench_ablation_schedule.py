@@ -9,7 +9,6 @@ early and leaves the fixpoint iteration with denominator ≈ 1.  This bench
 is the evidence for the default.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.analysis import emit, render_table

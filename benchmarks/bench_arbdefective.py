@@ -6,7 +6,6 @@ class honours the arboricity bound, and that rounds stay near the
 H-partition cost for small t.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import arbdefective_bound, emit, render_table

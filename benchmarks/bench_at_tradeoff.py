@@ -5,7 +5,6 @@ while colors grow ~linearly with t — the tradeoff the theorem states,
 improving on BE08's O((a/t)·log n + a) for all parameter values.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, render_table, theorem53_colors_bound

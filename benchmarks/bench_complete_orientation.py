@@ -6,7 +6,6 @@ with a (the log n factor fixed), and the out-degree bound must hold
 exactly.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import (

@@ -5,7 +5,6 @@ polylog factor of the explicit families), and rounds stay at the log* n
 plateau for every p.
 """
 
-import pytest
 
 from conftest import run_once
 from repro import SynchronousNetwork

@@ -11,6 +11,7 @@ a declarative spec; ``--trials``/``--seed`` (see conftest) override
 replication and seeding.
 """
 
+import perf_record
 from conftest import cached_sparse_high_degree, run_once
 from repro.analysis import emit, render_table
 from repro.core import delta_plus_one_via_arboricity, linial_coloring
@@ -39,6 +40,7 @@ def test_corollary47(benchmark, sweep_trials, sweep_base_seed):
         [_scenario(n, a, hubs, seeds) for n, a, hubs in SWEEP_CONFIGS],
     )
     result = run_sweep(spec)
+    perf_record.add_sweep_metrics("delta_plus_one", result)
     rows = []
     for tr in result:
         n = tr.trial.family_params["n"]

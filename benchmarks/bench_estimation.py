@@ -6,7 +6,6 @@ O(log a) failed H-partitions of O(log n) rounds each — the same order as
 Corollary 4.6 itself.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, render_table

@@ -4,7 +4,6 @@ Sweep the defect parameter d (= f(a)): larger d means fewer colors than a²
 by a bigger factor, at slightly more rounds per class coloring.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, render_table, theorem52_colors_bound

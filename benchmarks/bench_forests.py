@@ -10,6 +10,7 @@ declarative spec, execution and verification live in the engine, and
 base seed without editing this file.
 """
 
+import perf_record
 from conftest import cached_forest_union, cached_planar, run_once
 from repro.analysis import emit, render_table
 from repro.core import forests_decomposition
@@ -38,6 +39,7 @@ def _spec(trials: int, base_seed: int, sweep_a=SWEEP_A) -> SweepSpec:
 
 def test_forest_count_linear_in_a(benchmark, sweep_trials, sweep_base_seed):
     result = run_sweep(_spec(sweep_trials, sweep_base_seed))
+    perf_record.add_sweep_metrics("forests", result)
     rows = []
     rounds_seen = []
     for tr in result:

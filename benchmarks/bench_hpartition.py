@@ -6,10 +6,9 @@ measured level count tracks log n (and never exceeds the analysis bound),
 and that the partition property verifies.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
-from repro.analysis import emit, fit_linear_slope, hpartition_levels_bound, render_table
+from repro.analysis import emit, hpartition_levels_bound, render_table
 from repro.core import compute_hpartition
 from repro.verify import check_hpartition
 

@@ -5,10 +5,9 @@ Claim: O(a) colors in O(a^µ log n) rounds.  Two sweeps:
  (ii) sweep n at fixed a, µ — rounds grow ~log n (the polylog claim).
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
-from repro.analysis import emit, fit_linear_slope, fit_loglog_slope, render_table
+from repro.analysis import emit, fit_loglog_slope, render_table
 from repro.core import legal_coloring_theorem43
 from repro.verify import check_legal_coloring
 

@@ -7,7 +7,6 @@ reports the maximum payload — all logarithmic in n, i.e. the algorithms
 run unchanged in CONGEST.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, render_table

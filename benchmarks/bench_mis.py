@@ -11,6 +11,7 @@ override replication and seeding.
 
 import math
 
+import perf_record
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, mis_rounds_bound, render_table
 from repro.core import mis_arboricity
@@ -40,6 +41,7 @@ def _spec(trials: int, base_seed: int, sweep_n=SWEEP_N) -> SweepSpec:
 
 def test_mis_deterministic_vs_luby(benchmark, sweep_trials, sweep_base_seed):
     result = run_sweep(_spec(sweep_trials, sweep_base_seed))
+    perf_record.add_sweep_metrics("mis", result)
     by_cell = {}
     for tr in result:
         n = tr.trial.family_params["n"]

@@ -5,7 +5,6 @@ parallel legal coloring of the parts.  Sweep a; colors must stay O(a) and
 rounds must grow sublinearly in a (≈ a^{2/3}).
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, fit_loglog_slope, render_table

@@ -9,7 +9,6 @@ Sweeps t; also reproduces the Figure 1 decomposition of the single longest
 directed path into cross-level edges vs intra-level runs.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, partial_orientation_length_bound, render_table

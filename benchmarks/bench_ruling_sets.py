@@ -8,7 +8,6 @@ through the recursion.  This bench puts the two side by side: rounds vs
 strength of the guarantee.
 """
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, render_table

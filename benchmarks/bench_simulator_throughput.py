@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 
+import perf_record
 from conftest import cached_forest_union
 from repro import SynchronousNetwork
 from repro.analysis import emit, render_table
@@ -96,6 +97,15 @@ def test_simulator_throughput(benchmark):
             "retired per second; results are byte-identical by assertion",
         ),
         "s4_simulator_throughput.txt",
+    )
+    perf_record.add_metrics(
+        "simulator_throughput",
+        event_vs_dense_sweep_speedup=round(min(sweep_speedups), 3),
+        sweep_rows=[
+            {"workload": r[0], "n": r[1], "rounds": r[2],
+             "dense_krn_per_s": r[3], "event_krn_per_s": r[4]}
+            for r in rows
+        ],
     )
     # Acceptance: ≥2× on every sparse-activity sweep size (observed: 4–100×).
     assert min(sweep_speedups) >= 2.0, (

@@ -15,7 +15,6 @@ qualitative wins: same O(a) colors as BE08 at a fraction of the rounds,
 and exponentially fewer colors than Linial at polylog rounds.
 """
 
-import pytest
 
 from conftest import run_once
 from repro import SynchronousNetwork

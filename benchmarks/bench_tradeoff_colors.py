@@ -9,7 +9,6 @@ tradeoff curve.
 
 import math
 
-import pytest
 
 from conftest import cached_forest_union, run_once
 from repro.analysis import emit, render_table

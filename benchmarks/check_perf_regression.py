@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Gate a ``BENCH_*.json`` perf record against a baseline record.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py CURRENT.json BASELINE.json \
+        [--tolerance 0.15]
+
+Compares every *ratio* metric (name ending in ``_speedup``) present in the
+baseline's ``metrics`` against the current record and exits non-zero when
+any regresses by more than the tolerance — i.e. when
+``current < (1 - tolerance) * baseline``.  Ratio metrics are two
+measurements taken in the same process on the same machine, so they are
+comparable across machines; absolute wall times and throughputs are
+reported for context but never gated.
+
+The committed baselines under ``benchmarks/baselines/`` hold conservative
+floors (below what healthy CI runners measure), so the CI gate trips on
+real regressions rather than runner noise.  To see the gate trip on a
+synthetic slowdown, compare a handicapped run against a fresh local
+baseline::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_graph_core.py
+    cp results/BENCH_graph_core.json /tmp/baseline.json
+    REPRO_PERF_HANDICAP=0.25 PYTHONPATH=src python -m pytest -q \
+        benchmarks/bench_graph_core.py
+    python benchmarks/check_perf_regression.py \
+        results/BENCH_graph_core.json /tmp/baseline.json  # exits 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+GATED_SUFFIXES = ("_speedup",)
+CONTEXT_KEYS = ("sweep_rounds_nodes_per_s", "wall_s", "cache_hit_rate")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression before failing (default 0.15, "
+        "i.e. the gate trips before a regression reaches 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    cur_metrics = current.get("metrics", {})
+    base_metrics = baseline.get("metrics", {})
+
+    failures = []
+    checked = 0
+    for name, base_val in sorted(base_metrics.items()):
+        if not name.endswith(GATED_SUFFIXES):
+            continue
+        if not isinstance(base_val, (int, float)) or base_val <= 0:
+            continue
+        cur_val = cur_metrics.get(name)
+        floor = (1.0 - args.tolerance) * base_val
+        if not isinstance(cur_val, (int, float)):
+            failures.append(f"{name}: missing from the current record")
+            continue
+        checked += 1
+        status = "OK " if cur_val >= floor else "FAIL"
+        print(
+            f"{status} {name}: current={cur_val:.3f} baseline={base_val:.3f} "
+            f"floor={floor:.3f}"
+        )
+        if cur_val < floor:
+            failures.append(
+                f"{name}: {cur_val:.3f} < {floor:.3f} "
+                f"(baseline {base_val:.3f} - {args.tolerance:.0%})"
+            )
+    for key in CONTEXT_KEYS:
+        if key in cur_metrics:
+            print(f"info {key}: {cur_metrics[key]}")
+
+    if not checked and not failures:
+        print("error: baseline contains no gated *_speedup metrics")
+        return 2
+    if failures:
+        print(f"\nperf regression gate FAILED ({len(failures)}):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nperf regression gate passed ({checked} metric(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

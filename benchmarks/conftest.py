@@ -13,11 +13,27 @@ colors, not nanoseconds.
 from __future__ import annotations
 
 import functools
+import os
 
+import perf_record
 import pytest
 
 from repro import SynchronousNetwork
 from repro.graphs import forest_union, low_arboricity_high_degree, planar_triangulation
+
+
+def pytest_runtest_logreport(report):
+    """Time every bench test into its module's ``BENCH_<name>.json``."""
+    if report.when != "call":
+        return
+    base = os.path.basename(str(getattr(report, "fspath", "") or ""))
+    if base.startswith("bench_") and base.endswith(".py"):
+        perf_record.note_test(base[len("bench_") : -3], report.nodeid, report.duration)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one machine-readable perf record per bench module."""
+    perf_record.flush()
 
 
 def pytest_addoption(parser):

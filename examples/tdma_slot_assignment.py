@@ -15,7 +15,6 @@ algorithms beat degree-based ones.
 Run:  python examples/tdma_slot_assignment.py
 """
 
-import math
 import random
 
 from repro import Graph, SynchronousNetwork

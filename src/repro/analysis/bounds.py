@@ -13,7 +13,7 @@ paper's *claimed* asymptotic forms.  This module supplies:
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 
 def log_star(n) -> int:

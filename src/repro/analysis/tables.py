@@ -8,7 +8,7 @@ module renders them consistently and (optionally) appends them to
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 
 def render_table(

@@ -22,7 +22,7 @@ On top of it:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional
+from typing import List
 
 from ..errors import InvalidParameterError
 from ..simulator.network import SynchronousNetwork
@@ -69,7 +69,7 @@ def arb_kuhn_decomposition(
     )
     orientation = hpartition_orientation(graph, hp)
     out_bound = hp.degree_bound
-    active = set(participants) if participants is not None else set(graph.vertices)
+    active = set(participants) if participants is not None else None
 
     def parents_of(v: Vertex) -> List[Vertex]:
         if part_of is not None:
@@ -77,10 +77,13 @@ def arb_kuhn_decomposition(
             nbrs = [
                 u
                 for u in graph.neighbors(v)
-                if u in active and part_of.get(u) == label
+                if (active is None or u in active) and part_of.get(u) == label
             ]
-        else:
+        elif active is not None:
             nbrs = [u for u in graph.neighbors(v) if u in active]
+        else:
+            # unrestricted run: the graph's cached neighbour tuple, no copy
+            nbrs = graph.neighbors(v)
         return orientation.parents_of(v, nbrs)
 
     recolored = run_recoloring(

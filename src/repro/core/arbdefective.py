@@ -21,9 +21,9 @@ recursion works: unlike defective coloring, the product (number of parts) ×
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
-from ..errors import InvalidParameterError, SimulationError
+from ..errors import InvalidParameterError
 from ..simulator.context import NodeContext
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
@@ -80,7 +80,7 @@ def simple_arbdefective(
     if k < 1:
         raise InvalidParameterError(f"simple_arbdefective: k must be >= 1, got {k}")
     graph = network.graph
-    active = set(participants) if participants is not None else set(graph.vertices)
+    active = set(participants) if participants is not None else None
 
     def parents_of(v: Vertex) -> List[Vertex]:
         if part_of is not None:
@@ -88,10 +88,13 @@ def simple_arbdefective(
             nbrs = [
                 u
                 for u in graph.neighbors(v)
-                if u in active and part_of.get(u) == label
+                if (active is None or u in active) and part_of.get(u) == label
             ]
-        else:
+        elif active is not None:
             nbrs = [u for u in graph.neighbors(v) if u in active]
+        else:
+            # unrestricted run: the graph's cached neighbour tuple, no copy
+            nbrs = graph.neighbors(v)
         return orientation.parents_of(v, nbrs)
 
     result = network.run(

@@ -23,7 +23,7 @@ DESIGN.md §4) and this pipeline is dramatically simpler.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping
 
 from ..errors import InvalidParameterError, SimulationError
 from ..simulator.context import NodeContext

@@ -19,14 +19,13 @@ free for the paper's headline algorithm.
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Tuple
 
-from ..errors import InvalidParameterError, RoundLimitExceeded
+from ..errors import InvalidParameterError
 from ..simulator.context import NodeContext
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
-from ..types import ColorAssignment, HPartition, Vertex
+from ..types import ColorAssignment, HPartition
 from .hpartition import degree_threshold, expected_num_levels
 from .legal import legal_coloring_corollary46
 

@@ -19,7 +19,7 @@ One round of the simulator corresponds exactly to one peeling iteration.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import InvalidParameterError, RoundLimitExceeded, SimulationError
 from ..simulator.context import NodeContext
@@ -36,24 +36,27 @@ class HPartitionProgram(NodeProgram):
 
     def __init__(self, threshold: int):
         self._threshold = threshold
-        self._active_neighbors: set = set()
+        self._active_count = 0
 
     def on_start(self, ctx: NodeContext) -> None:
-        self._active_neighbors = set(ctx.neighbors)
+        # A departed neighbour announces _LEAVING exactly once (it halts in
+        # the same activation), so a plain count of active neighbours is
+        # enough — no materialized neighbour set.
+        self._active_count = ctx.degree
         # Round 0 sends nothing: every vertex initially assumes all its
         # neighbours are active, which is true.  The active degree only
         # drops when a departure announcement arrives, so the node sleeps
         # between messages — except that a vertex already at or below the
         # threshold leaves in round 1 unprompted.
-        if len(self._active_neighbors) <= self._threshold:
+        if self._active_count <= self._threshold:
             ctx.wake_at(1)
         ctx.idle_until_message()
 
     def on_round(self, ctx: NodeContext) -> None:
-        for sender, payload in ctx.inbox.items():
+        for payload in ctx.inbox.values():
             if payload == _LEAVING:
-                self._active_neighbors.discard(sender)
-        if len(self._active_neighbors) <= self._threshold:
+                self._active_count -= 1
+        if self._active_count <= self._threshold:
             ctx.broadcast(_LEAVING)
             ctx.halt(ctx.round_number)  # H-index = peeling iteration (1-based)
         else:

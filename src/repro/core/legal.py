@@ -27,11 +27,11 @@ Parameterisations reproduced here:
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from ..errors import InvalidParameterError
 from ..simulator.network import SynchronousNetwork
-from ..types import ColorAssignment, Decomposition, Vertex
+from ..types import ColorAssignment, Vertex
 from .arbdefective import arbdefective_coloring
 from .color_reduction import greedy_reduction
 from .orientation import complete_orientation, orientation_greedy_coloring

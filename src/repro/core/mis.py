@@ -15,9 +15,8 @@ are measured against.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Mapping, Optional, Set
+from typing import Callable, Optional, Set
 
-from ..errors import InvalidParameterError
 from ..simulator.context import NodeContext
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
@@ -217,11 +216,21 @@ def luby_mis(
 
 
 def greedy_mis_sequential(graph) -> Set[Vertex]:
-    """Centralized greedy MIS by ascending id (verification reference)."""
-    members: Set[Vertex] = set()
-    blocked: Set[Vertex] = set()
-    for v in graph.vertices:
-        if v not in blocked:
-            members.add(v)
-            blocked.update(graph.neighbors(v))
-    return members
+    """Centralized greedy MIS by ascending id (verification reference).
+
+    Works in index space over the CSR arrays (ascending index is ascending
+    id, so the greedy choice is unchanged).
+    """
+    off, nbr = graph.csr()
+    n = graph.n
+    blocked = bytearray(n)
+    members_idx = []
+    for i in range(n):
+        if not blocked[i]:
+            members_idx.append(i)
+            for j in nbr[off[i] : off[i + 1]]:
+                blocked[j] = 1
+    if graph.ids_contiguous:
+        return set(members_idx)
+    vertex_at = graph.vertex_at
+    return {vertex_at(i) for i in members_idx}

@@ -38,7 +38,7 @@ from ..types import (
 )
 from .color_reduction import delta_plus_one_coloring
 from .defective import kuhn_defective_coloring
-from .hpartition import compute_hpartition, degree_threshold
+from .hpartition import compute_hpartition
 
 
 class _OrientationExchangeProgram(NodeProgram):
@@ -312,7 +312,7 @@ def orientation_greedy_coloring(
     if out_degree_bound < 0:
         raise InvalidParameterError("out_degree_bound must be >= 0")
     graph = network.graph
-    active = set(participants) if participants is not None else set(graph.vertices)
+    active = set(participants) if participants is not None else None
 
     def parents_of(v: Vertex) -> List[Vertex]:
         if part_of is not None:
@@ -320,10 +320,13 @@ def orientation_greedy_coloring(
             nbrs = [
                 u
                 for u in graph.neighbors(v)
-                if u in active and part_of.get(u) == label
+                if (active is None or u in active) and part_of.get(u) == label
             ]
-        else:
+        elif active is not None:
             nbrs = [u for u in graph.neighbors(v) if u in active]
+        else:
+            # unrestricted run: the graph's cached neighbour tuple, no copy
+            nbrs = graph.neighbors(v)
         return orientation.parents_of(v, nbrs)
 
     result = network.run(

@@ -35,7 +35,7 @@ default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidParameterError, SimulationError
 from ..families.polynomial import PolynomialFamily, select_family

@@ -21,9 +21,8 @@ group's set grows by at most α−1 per level, giving a
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Set
 
-from ..errors import InvalidParameterError
 from ..simulator.context import NodeContext
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
@@ -106,7 +105,6 @@ def ruling_set(
     so it is not an MIS — use :func:`repro.core.mis.mis_arboricity` for
     that).
     """
-    n = network.graph.n
     ids = network.graph.vertices
     max_id = max(ids, default=0)
     bits = max(1, int(max_id).bit_length())
@@ -136,14 +134,24 @@ def ruling_set_domination_radius(graph, members: Set[Vertex]) -> int:
         return graph.n + 1
     from collections import deque
 
-    dist: Dict[Vertex, int] = {v: 0 for v in members}
-    queue = deque(members)
+    n = graph.n
+    off, nbr = graph.csr()
+    index_of = graph.index_of
+    dist = [-1] * n
+    queue = deque()
+    for v in members:
+        i = index_of(v)
+        dist[i] = 0
+        queue.append(i)
+    reached = len(queue)
     while queue:
-        v = queue.popleft()
-        for u in graph.neighbors(v):
-            if u not in dist:
-                dist[u] = dist[v] + 1
-                queue.append(u)
-    if len(dist) < graph.n:
-        return graph.n + 1
-    return max(dist.values(), default=0)
+        i = queue.popleft()
+        d = dist[i] + 1
+        for j in nbr[off[i] : off[i + 1]]:
+            if dist[j] < 0:
+                dist[j] = d
+                reached += 1
+                queue.append(j)
+    if reached < n:
+        return n + 1
+    return max(dist, default=0)

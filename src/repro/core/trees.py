@@ -49,26 +49,33 @@ def root_forest_by_bfs(graph: Graph) -> Dict[Vertex, Optional[Vertex]]:
     Centralized preprocessing (BFS); raises if the graph contains a cycle,
     because a parent map of a non-forest would silently mis-color.
     """
-    parent: Dict[Vertex, Optional[Vertex]] = {}
-    visited = set()
-    for root in graph.vertices:
-        if root in visited:
+    n = graph.n
+    off, nbr = graph.csr()
+    vertex_at = graph.vertex_at
+    visited = bytearray(n)
+    parent_idx = [-1] * n  # -1 = root of its tree
+    for root in range(n):
+        if visited[root]:
             continue
-        parent[root] = None
-        visited.add(root)
+        visited[root] = 1
         frontier = [root]
         while frontier:
-            v = frontier.pop()
-            for u in graph.neighbors(v):
-                if u not in visited:
-                    visited.add(u)
-                    parent[u] = v
-                    frontier.append(u)
-                elif parent.get(v) != u:
+            i = frontier.pop()
+            pi = parent_idx[i]
+            for j in nbr[off[i] : off[i + 1]]:
+                if not visited[j]:
+                    visited[j] = 1
+                    parent_idx[j] = i
+                    frontier.append(j)
+                elif pi != j:
                     raise InvalidParameterError(
-                        f"graph is not a forest: extra edge ({v}, {u})"
+                        "graph is not a forest: extra edge "
+                        f"({vertex_at(i)}, {vertex_at(j)})"
                     )
-    return parent
+    return {
+        vertex_at(i): (None if p < 0 else vertex_at(p))
+        for i, p in enumerate(parent_idx)
+    }
 
 
 def forest_mis(

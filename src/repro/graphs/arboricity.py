@@ -26,11 +26,17 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ..errors import InvalidParameterError
 from ..types import Orientation, Vertex, canonical_edge
 from .graph import Graph
+
+
+def _numpy():
+    """The numpy module used by the graph core, or None (same gate)."""
+    from . import graph as _graph_mod
+
+    return _graph_mod._np
 
 
 def degeneracy(graph: Graph) -> Tuple[int, List[Vertex]]:
@@ -40,18 +46,23 @@ def degeneracy(graph: Graph) -> Tuple[int, List[Vertex]]:
     order: every vertex has at most ``k`` neighbours *later* in the order.
     Runs in O(n + m) with bucketed degrees.
     """
-    if graph.n == 0:
+    n = graph.n
+    if n == 0:
         return 0, []
-    deg = {v: graph.degree(v) for v in graph.vertices}
-    max_deg = max(deg.values()) if deg else 0
+    # Index-space peeling over the CSR arrays: no id hashing in the loop.
+    # For contiguous-id graphs indices are ids, so the peeling visits the
+    # very same bucket contents as the legacy id-based implementation.
+    off, nbr = graph.csr()
+    deg = [off[i + 1] - off[i] for i in range(n)]
+    max_deg = max(deg)
     buckets: List[set] = [set() for _ in range(max_deg + 1)]
-    for v, d in deg.items():
-        buckets[d].add(v)
-    order: List[Vertex] = []
-    removed = set()
+    for i, d in enumerate(deg):
+        buckets[d].add(i)
+    order_idx: List[int] = []
+    removed = bytearray(n)
     k = 0
     cursor = 0
-    for _ in range(graph.n):
+    for _ in range(n):
         while cursor <= max_deg and not buckets[cursor]:
             cursor += 1
         # peeling may have decreased some degrees below the cursor
@@ -62,20 +73,24 @@ def degeneracy(graph: Graph) -> Tuple[int, List[Vertex]]:
             while back < cursor and not buckets[back]:
                 back += 1
             cursor = back
-        v = buckets[cursor].pop()
-        k = max(k, cursor)
-        order.append(v)
-        removed.add(v)
-        for u in graph.neighbors(v):
-            if u in removed:
+        i = buckets[cursor].pop()
+        if cursor > k:
+            k = cursor
+        order_idx.append(i)
+        removed[i] = 1
+        for j in nbr[off[i] : off[i + 1]]:
+            if removed[j]:
                 continue
-            d = deg[u]
-            buckets[d].discard(u)
-            deg[u] = d - 1
-            buckets[d - 1].add(u)
+            d = deg[j]
+            buckets[d].discard(j)
+            deg[j] = d - 1
+            buckets[d - 1].add(j)
             if d - 1 < cursor:
                 cursor = d - 1
-    return k, order
+    if graph.ids_contiguous:
+        return k, order_idx
+    vertex_at = graph.vertex_at
+    return k, [vertex_at(i) for i in order_idx]
 
 
 def degeneracy_orientation(graph: Graph) -> Orientation:
@@ -103,19 +118,40 @@ def nash_williams_lower_bound(graph: Graph) -> int:
     the whole graph and every suffix of the degeneracy order (the "cores").
     Any value returned is a true lower bound.
     """
-    if graph.n < 2:
+    n = graph.n
+    if n < 2:
         return 0
-    best = math.ceil(graph.m / (graph.n - 1))
+    best = math.ceil(graph.m / (n - 1))
     _k, order = degeneracy(graph)
-    pos = {v: i for i, v in enumerate(order)}
+    np = _numpy()
+    if np is not None and graph.ids_contiguous:
+        # Vectorized over the CSR arrays: one C pass over the batched
+        # neighbour array instead of a Python loop per edge.
+        off_mv, nbr_mv = graph.csr()
+        off = np.frombuffer(off_mv, dtype=np.int64)
+        nbr = np.frombuffer(nbr_mv, dtype=np.int64)
+        pos = np.empty(n, dtype=np.int64)
+        pos[np.asarray(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(off))
+        ps, pn = pos[src], pos[nbr]
+        mins = ps[ps < pn]  # each undirected edge counted exactly once
+        suffix_m = np.bincount(mins, minlength=n)
+        totals = suffix_m[::-1].cumsum()[::-1]  # edges inside order[i:]
+        n_h = n - np.arange(n, dtype=np.int64)
+        valid = n_h >= 2
+        if bool(valid.any()):
+            vals = -(-totals[valid] // (n_h[valid] - 1))  # ceil division
+            best = max(best, int(vals.max()))
+        return best
+    pos_d = {v: i for i, v in enumerate(order)}
     # m_i = number of edges fully inside the suffix order[i:]
-    suffix_m = [0] * (graph.n + 1)
+    suffix_m_l = [0] * (n + 1)
     for (u, v) in graph.edges:
-        suffix_m[min(pos[u], pos[v])] += 1
+        suffix_m_l[min(pos_d[u], pos_d[v])] += 1
     total = 0
-    for i in range(graph.n - 1, -1, -1):
-        total += suffix_m[i]
-        n_h = graph.n - i
+    for i in range(n - 1, -1, -1):
+        total += suffix_m_l[i]
+        n_h = n - i
         if n_h >= 2:
             best = max(best, math.ceil(total / (n_h - 1)))
     return best

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..errors import InvalidParameterError
 from ..types import Edge, Vertex, canonical_edge
@@ -64,7 +64,7 @@ def path(n: int) -> GeneratedGraph:
     """The path on ``n`` vertices.  Arboricity 1."""
     if n < 1:
         raise InvalidParameterError("path: n must be >= 1")
-    g = Graph(range(n), [(i, i + 1) for i in range(n - 1)])
+    g = Graph.from_edge_count(n, [(i, i + 1) for i in range(n - 1)])
     return GeneratedGraph(g, 1, "path", {"n": n})
 
 
@@ -72,7 +72,7 @@ def ring(n: int) -> GeneratedGraph:
     """The cycle on ``n`` vertices.  Arboricity 2 (a cycle is not a forest)."""
     if n < 3:
         raise InvalidParameterError("ring: n must be >= 3")
-    g = Graph(range(n), [(i, (i + 1) % n) for i in range(n)])
+    g = Graph.from_edge_count(n, [(i, (i + 1) % n) for i in range(n)])
     return GeneratedGraph(g, 2, "ring", {"n": n})
 
 
@@ -80,7 +80,7 @@ def star(n: int) -> GeneratedGraph:
     """The star with one hub and ``n - 1`` leaves.  Arboricity 1, Δ = n−1."""
     if n < 2:
         raise InvalidParameterError("star: n must be >= 2")
-    g = Graph(range(n), [(0, i) for i in range(1, n)])
+    g = Graph.from_edge_count(n, [(0, i) for i in range(1, n)])
     return GeneratedGraph(g, 1, "star", {"n": n})
 
 
@@ -88,7 +88,7 @@ def complete_graph(n: int) -> GeneratedGraph:
     """K_n.  Arboricity ⌈n/2⌉ (Nash–Williams)."""
     if n < 1:
         raise InvalidParameterError("complete_graph: n must be >= 1")
-    g = Graph(range(n), [(i, j) for i in range(n) for j in range(i + 1, n)])
+    g = Graph.from_edge_count(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
     return GeneratedGraph(g, (n + 1) // 2, "complete", {"n": n})
 
 
@@ -106,7 +106,7 @@ def grid(rows: int, cols: int) -> GeneratedGraph:
                 edges.append((vid(r, c), vid(r, c + 1)))
             if r + 1 < rows:
                 edges.append((vid(r, c), vid(r + 1, c)))
-    g = Graph(range(rows * cols), edges)
+    g = Graph.from_edge_count(rows * cols, edges)
     bound = 2 if (rows > 1 and cols > 1) else 1
     return GeneratedGraph(g, bound, "grid", {"rows": rows, "cols": cols})
 
@@ -128,7 +128,7 @@ def hypercube(dim: int) -> GeneratedGraph:
             u = v ^ (1 << b)
             if u > v:
                 edges.append((v, u))
-    g = Graph(range(n), edges)
+    g = Graph.from_edge_count(n, edges)
     bound = min(dim, dim // 2 + 1)
     return GeneratedGraph(g, bound, "hypercube", {"dim": dim})
 
@@ -139,7 +139,7 @@ def binary_tree(depth: int) -> GeneratedGraph:
         raise InvalidParameterError("binary_tree: depth must be >= 0")
     n = (1 << (depth + 1)) - 1
     edges = [(i, (i - 1) // 2) for i in range(1, n)]
-    g = Graph(range(n), edges)
+    g = Graph.from_edge_count(n, edges)
     return GeneratedGraph(g, 1, "binary_tree", {"depth": depth})
 
 
@@ -158,7 +158,7 @@ def random_tree(n: int, seed: int = 0) -> GeneratedGraph:
         raise InvalidParameterError("random_tree: n must be >= 1")
     rng = random.Random(seed)
     edges = [(i, rng.randrange(i)) for i in range(1, n)]
-    g = Graph(range(n), edges)
+    g = Graph.from_edge_count(n, edges)
     return GeneratedGraph(g, 1, "random_tree", {"n": n, "seed": seed})
 
 
@@ -174,16 +174,20 @@ def forest_union(n: int, a: int, seed: int = 0, density: float = 1.0) -> Generat
     ----------
     density:
         Fraction of each forest's possible ``n − 1`` edges to keep, allowing
-        sparser instances with the same certified bound.
+        sparser instances with the same certified bound.  Values in
+        ``(1, 2]`` oversample: each forest re-emits some of its edges (also
+        reversed), which exercises the duplicate-edge handling downstream —
+        the resulting simple graph is identical to ``density = 1`` and the
+        collisions are counted in ``graph.duplicate_edges_dropped``.
     """
     if n < 2:
         raise InvalidParameterError("forest_union: n must be >= 2")
     if a < 1:
         raise InvalidParameterError("forest_union: a must be >= 1")
-    if not (0.0 < density <= 1.0):
-        raise InvalidParameterError("forest_union: density must be in (0, 1]")
+    if not (0.0 < density <= 2.0):
+        raise InvalidParameterError("forest_union: density must be in (0, 2]")
     rng = random.Random(seed)
-    edges: Set[Edge] = set()
+    edges: List[Edge] = []
     keep = max(1, int(density * (n - 1)))
     for _f in range(a):
         # random recursive tree over a random permutation of the ids, so the
@@ -195,9 +199,10 @@ def forest_union(n: int, a: int, seed: int = 0, density: float = 1.0) -> Generat
             j = rng.randrange(i)
             tree_edges.append(canonical_edge(perm[i], perm[j]))
         rng.shuffle(tree_edges)
-        for e in tree_edges[:keep]:
-            edges.add(e)
-    g = Graph(range(n), edges)
+        edges.extend(tree_edges[:keep])
+        for u, v in tree_edges[: max(0, keep - (n - 1))]:
+            edges.append((v, u))  # oversampled: reversed duplicates
+    g = Graph.from_edge_count(n, edges)
     return GeneratedGraph(
         g, a, "forest_union", {"n": n, "a": a, "seed": seed, "density": density}
     )
@@ -215,12 +220,12 @@ def random_regular(n: int, d: int, seed: int = 0) -> GeneratedGraph:
     rng = random.Random(seed)
     stubs = [v for v in range(n) for _ in range(d)]
     rng.shuffle(stubs)
-    edges: Set[Edge] = set()
+    edges: List[Edge] = []
     for i in range(0, len(stubs) - 1, 2):
         u, v = stubs[i], stubs[i + 1]
         if u != v:
-            edges.add(canonical_edge(u, v))
-    g = Graph(range(n), edges)
+            edges.append((u, v))
+    g = Graph.from_edge_count(n, edges)
     return GeneratedGraph(
         g, (d + 2) // 2, "random_regular", {"n": n, "d": d, "seed": seed}
     )
@@ -241,7 +246,7 @@ def erdos_renyi(n: int, p: float, seed: int = 0) -> GeneratedGraph:
         for j in range(i + 1, n)
         if rng.random() < p
     ]
-    g = Graph(range(n), edges)
+    g = Graph.from_edge_count(n, edges)
     from .arboricity import degeneracy
 
     k, _order = degeneracy(g)
@@ -292,7 +297,7 @@ def random_geometric(n: int, radius: float, seed: int = 0) -> GeneratedGraph:
                         ux, uy = points[u]
                         if (vx - ux) ** 2 + (vy - uy) ** 2 <= r2:
                             edges.append((v, u))
-    g = Graph(range(n), edges)
+    g = Graph.from_edge_count(n, edges)
     from .arboricity import degeneracy
 
     k, _order = degeneracy(g)
@@ -316,20 +321,20 @@ def preferential_attachment(n: int, m: int, seed: int = 0) -> GeneratedGraph:
     if n < m + 1 or m < 1:
         raise InvalidParameterError("preferential_attachment: need n > m >= 1")
     rng = random.Random(seed)
-    edges: Set[Edge] = set()
+    edges: List[Edge] = []
     # seed: star on m+1 vertices (arboricity 1, keeps the certificate simple)
     targets: List[Vertex] = []
     for i in range(1, m + 1):
-        edges.add(canonical_edge(0, i))
+        edges.append((0, i))
         targets.extend((0, i))
     for v in range(m + 1, n):
         chosen: Set[Vertex] = set()
         while len(chosen) < m:
             chosen.add(targets[rng.randrange(len(targets))])
         for u in chosen:
-            edges.add(canonical_edge(v, u))
+            edges.append((v, u))
             targets.extend((v, u))
-    g = Graph(range(n), edges)
+    g = Graph.from_edge_count(n, edges)
     return GeneratedGraph(
         g, m, "preferential_attachment", {"n": n, "m": m, "seed": seed}
     )
@@ -346,18 +351,18 @@ def planar_triangulation(n: int, seed: int = 0) -> GeneratedGraph:
     if n < 3:
         raise InvalidParameterError("planar_triangulation: n must be >= 3")
     rng = random.Random(seed)
-    edges: Set[Edge] = {(0, 1), (0, 2), (1, 2)}
+    edges: List[Edge] = [(0, 1), (0, 2), (1, 2)]
     faces: List[Tuple[int, int, int]] = [(0, 1, 2)]
     for v in range(3, n):
         i = rng.randrange(len(faces))
         a, b, c = faces[i]
-        edges.add(canonical_edge(v, a))
-        edges.add(canonical_edge(v, b))
-        edges.add(canonical_edge(v, c))
+        edges.append((v, a))
+        edges.append((v, b))
+        edges.append((v, c))
         faces[i] = (a, b, v)
         faces.append((a, c, v))
         faces.append((b, c, v))
-    g = Graph(range(n), edges)
+    g = Graph.from_edge_count(n, edges)
     return GeneratedGraph(g, 3, "planar_triangulation", {"n": n, "seed": seed})
 
 
@@ -378,14 +383,14 @@ def low_arboricity_high_degree(
         )
     base = forest_union(n, a, seed=seed)
     rng = random.Random(seed + 1)
-    edges = set(base.graph.edges)
+    edges = list(base.graph.edges)
     hubs = rng.sample(range(n), num_hubs)
     others = [v for v in range(n) if v not in set(hubs)]
     share = len(others) // num_hubs
     for i, h in enumerate(hubs):
         for v in others[i * share : (i + 1) * share]:
-            edges.add(canonical_edge(h, v))
-    g = Graph(range(n), edges)
+            edges.append((h, v))
+    g = Graph.from_edge_count(n, edges)
     return GeneratedGraph(
         g,
         a + num_hubs,
@@ -402,14 +407,12 @@ def disjoint_union(parts: Sequence[GeneratedGraph], name: str = "union") -> Gene
     if not parts:
         raise InvalidParameterError("disjoint_union: needs at least one part")
     offset = 0
-    vertices: List[Vertex] = []
     edges: List[Edge] = []
     for part in parts:
         remap = {v: v_i + offset for v_i, v in enumerate(part.graph.vertices)}
-        vertices.extend(remap[v] for v in part.graph.vertices)
         edges.extend((remap[u], remap[v]) for (u, v) in part.graph.edges)
         offset += part.graph.n
-    g = Graph(vertices, edges)
+    g = Graph.from_edge_count(offset, edges)
     return GeneratedGraph(
         g,
         max(p.arboricity_bound for p in parts),

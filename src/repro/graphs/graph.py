@@ -3,29 +3,221 @@
 The distributed algorithms in :mod:`repro.core` run on a
 :class:`~repro.simulator.network.SynchronousNetwork`, which is built from a
 :class:`Graph`.  We deliberately do not use :mod:`networkx` graphs internally:
-the simulator's hot loop touches adjacency lists millions of times and the
-plain-``dict``-of-``tuple`` representation here is several times faster, and a
+the simulator's hot loop touches adjacency lists millions of times, and a
 frozen graph makes it impossible for an algorithm to accidentally mutate the
 topology mid-simulation.  Conversion helpers to and from networkx are
 provided for the generators and for user interop.
 
+Storage is a compact CSR (compressed sparse row) layout:
+
+* ``_offsets`` — an ``array('q')`` of length ``n + 1``; the neighbours of the
+  vertex at *index* ``i`` occupy ``_nbr[_offsets[i]:_offsets[i + 1]]``;
+* ``_nbr`` — an ``array('q')`` of length ``2m`` holding neighbour *indices*
+  (positions in the sorted vertex tuple), sorted ascending within each row.
+
 Vertices are integers with unique ids, matching the LOCAL model's assumption
 of unique identities.  Ids need not be contiguous (induced subgraphs keep the
-original ids), but :func:`repro.graphs.generators` always produce ``0..n-1``.
+original ids), but :func:`repro.graphs.generators` always produce ``0..n-1``
+— in that common case index == id and the id→index map is never built.
+
+Two build paths produce bit-identical CSR arrays: a vectorised one (numpy,
+used when available) and a pure-Python fallback (stdlib only, used on
+installs without numpy or when ``REPRO_PURE_CSR`` is set).  Both encode each
+undirected edge as the two directed codes ``u*n + v`` and ``v*n + u``, sort,
+and drop adjacent duplicates — so duplicate input edges (in either
+orientation) collapse, and the count of dropped duplicates is exposed as
+:attr:`Graph.duplicate_edges_dropped`.
+
+The id-based accessors (``vertices`` / ``edges`` / ``neighbors`` /
+``degree``) are unchanged from the legacy dict-of-tuples implementation; the
+*index* API (``neighbors_index`` / ``degree_index`` / ``csr`` / ...) is the
+allocation-free fast path for the simulator and the centralized helpers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+import os
+from array import array
+from bisect import bisect_left
+from itertools import chain
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import InvalidParameterError
-from ..types import Edge, Vertex, canonical_edge
+from ..types import Edge, Vertex
+
+try:  # vectorised CSR build; the pure-Python path below is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+if os.environ.get("REPRO_PURE_CSR"):
+    _np = None
+
+_EMPTY_Q = array("q")
+
+
+# ----------------------------------------------------------------------
+# CSR construction from directed edge codes (u*n + v, both directions)
+# ----------------------------------------------------------------------
+def _csr_from_codes_pure(codes: List[int], n: int) -> Tuple[array, array, int]:
+    """Sort + dedup directed codes into (offsets, neighbors, dups) — stdlib."""
+    codes.sort()
+    deg = [0] * n
+    nbr = array("q", bytes(8 * len(codes)))
+    fill = 0
+    prev = -1
+    for c in codes:
+        if c == prev:
+            continue
+        prev = c
+        nbr[fill] = c % n
+        fill += 1
+        deg[c // n] += 1
+    dropped = len(codes) - fill
+    del nbr[fill:]
+    offsets = array("q", bytes(8 * (n + 1)))
+    total = 0
+    for i, d in enumerate(deg):
+        offsets[i] = total
+        total += d
+    offsets[n] = total
+    return offsets, nbr, dropped // 2
+
+
+def _csr_from_sorted_unique_np(uniq, n: int) -> Tuple[array, array]:
+    """Turn sorted unique directed codes (int64 ndarray) into CSR arrays."""
+    rows = uniq // n
+    counts = _np.bincount(rows, minlength=n)
+    off_np = _np.zeros(n + 1, dtype=_np.int64)
+    _np.cumsum(counts, out=off_np[1:])
+    nbr_np = uniq - rows * n
+    offsets = array("q")
+    offsets.frombytes(off_np.tobytes())
+    nbr = array("q")
+    nbr.frombytes(nbr_np.astype(_np.int64, copy=False).tobytes())
+    return offsets, nbr
+
+
+def _np_sort_unique(codes) -> Tuple["_np.ndarray", int]:
+    """Sort + adjacent-dedup (much faster than ``np.unique``'s hash path)."""
+    total = len(codes)
+    codes.sort()
+    mask = _np.empty(total, dtype=bool)
+    mask[0] = True
+    _np.not_equal(codes[1:], codes[:-1], out=mask[1:])
+    uniq = codes[mask]
+    return uniq, total - len(uniq)
+
+
+def _csr_from_codes(codes: List[int], n: int) -> Tuple[array, array, int]:
+    if _np is not None and codes:
+        arr = _np.array(codes, dtype=_np.int64)
+        uniq, dropped = _np_sort_unique(arr)
+        offsets, nbr = _csr_from_sorted_unique_np(uniq, n)
+        return offsets, nbr, dropped // 2
+    return _csr_from_codes_pure(codes, n)
+
+
+def _encode_pairs_pure(edges, n: int) -> List[int]:
+    """Validate and encode index pairs as directed codes (stdlib path)."""
+    codes: List[int] = []
+    append = codes.append
+    for e in edges:
+        u, v = e
+        if not (isinstance(u, int) and isinstance(v, int)):
+            raise InvalidParameterError(
+                f"edge ({u!r}, {v!r}) endpoints must be ints"
+            )
+        if u == v:
+            raise InvalidParameterError(f"self-loop at vertex {u} not allowed")
+        if not (0 <= u < n and 0 <= v < n):
+            raise InvalidParameterError(
+                f"edge ({u}, {v}) references a vertex not in the vertex set"
+            )
+        append(u * n + v)
+        append(v * n + u)
+    return codes
+
+
+def _looks_like_int_pairs(edges) -> bool:
+    """Sniff the head of the edge list: 2-sequences of real ints?
+
+    A cheap early filter only — obviously non-conforming input skips the
+    vectorised attempt entirely.  Full integrity is enforced after
+    ingestion by an exact checksum comparison (see
+    :func:`_csr_from_index_pairs`), so malformed edges *past* the sampled
+    head are still routed to the strict pure path.
+    """
+    try:
+        for e in edges[:8]:
+            u, v = e
+            if not (isinstance(u, int) and isinstance(v, int)):
+                return False
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def _csr_from_index_pairs(edges, n: int) -> Tuple[array, array, int]:
+    """CSR arrays from an iterable of ``(u, v)`` index pairs in ``0..n-1``.
+
+    The numpy path streams the whole edge list into a flat int64 array in C
+    and validates it vectorised; any structural surprise (ragged rows,
+    non-integer endpoints in the sampled head) falls back to the pure path,
+    which raises the precise error.
+    """
+    if not isinstance(edges, (list, tuple)):
+        edges = list(edges)
+    if not edges:
+        return array("q", bytes(8 * (n + 1))), array("q"), 0
+    if _np is not None and _looks_like_int_pairs(edges):
+        m = len(edges)
+        try:
+            flat = _np.fromiter(
+                chain.from_iterable(edges), _np.int64, count=2 * m
+            )
+            # np.fromiter silently truncates non-integral floats and stops
+            # at `count` on ragged rows; comparing the exact Python-side
+            # sum of every element against the ingested array catches both
+            # and falls back to the strict per-edge path.
+            if sum(chain.from_iterable(edges)) != int(flat.sum()):
+                flat = None
+        except (TypeError, ValueError, OverflowError):
+            flat = None
+        if flat is not None:
+            u = flat[0::2]
+            v = flat[1::2]
+            if (
+                int(flat.min()) < 0
+                or int(flat.max()) >= n
+                or bool((u == v).any())
+            ):
+                _encode_pairs_pure(edges, n)  # raises the precise error
+                raise InvalidParameterError("invalid edge list")  # unreachable
+            codes = _np.concatenate((u * n + v, v * n + u))
+            uniq, dropped = _np_sort_unique(codes)
+            offsets, nbr = _csr_from_sorted_unique_np(uniq, n)
+            return offsets, nbr, dropped // 2
+    return _csr_from_codes_pure(_encode_pairs_pure(edges, n), n)
 
 
 class Graph:
     """An immutable, simple, undirected graph with integer vertex ids."""
 
-    __slots__ = ("_vertices", "_adjacency", "_edges", "_vertex_set")
+    __slots__ = (
+        "_n",
+        "_contig",
+        "_verts",
+        "_offsets",
+        "_nbr",
+        "_index",
+        "_vset",
+        "_mv",
+        "_edges_cache",
+        "_nbr_tuples",
+        "_maxdeg",
+        "duplicate_edges_dropped",
+    )
 
     def __init__(
         self,
@@ -37,108 +229,325 @@ class Graph:
             if not isinstance(v, int):
                 raise InvalidParameterError(f"vertex ids must be ints, got {v!r}")
             vset.add(v)
-        adjacency: Dict[Vertex, set] = {v: set() for v in vset}
-        edge_set = set()
-        for u, v in edges:
-            if u == v:
-                raise InvalidParameterError(f"self-loop at vertex {u} not allowed")
-            if u not in adjacency or v not in adjacency:
-                raise InvalidParameterError(
-                    f"edge ({u}, {v}) references a vertex not in the vertex set"
-                )
-            e = canonical_edge(u, v)
-            if e in edge_set:
-                continue  # ignore duplicate edges: the graph is simple
-            edge_set.add(e)
-            adjacency[u].add(v)
-            adjacency[v].add(u)
-        self._vertices: Tuple[Vertex, ...] = tuple(sorted(vset))
-        self._vertex_set = frozenset(vset)
-        self._adjacency: Dict[Vertex, Tuple[Vertex, ...]] = {
-            v: tuple(sorted(nbrs)) for v, nbrs in adjacency.items()
-        }
-        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        n = len(vset)
+        verts = tuple(sorted(vset))
+        contig = n == 0 or (verts[0] == 0 and verts[-1] == n - 1)
+        if contig:
+            offsets, nbr, dropped = _csr_from_index_pairs(edges, n)
+            index: Optional[Dict[Vertex, int]] = None
+        else:
+            index = {v: i for i, v in enumerate(verts)}
+            codes: List[int] = []
+            append = codes.append
+            get = index.get
+            for u, v in edges:
+                iu = get(u)
+                iv = get(v)
+                if iu is None or iv is None:
+                    raise InvalidParameterError(
+                        f"edge ({u}, {v}) references a vertex not in the "
+                        "vertex set"
+                    )
+                if iu == iv:
+                    raise InvalidParameterError(
+                        f"self-loop at vertex {u} not allowed"
+                    )
+                append(iu * n + iv)
+                append(iv * n + iu)
+            offsets, nbr, dropped = _csr_from_codes(codes, n)
+        self._init_csr(n, contig, verts if not contig else None, offsets, nbr, dropped)
 
     # ------------------------------------------------------------------
-    # basic accessors
+    def _init_csr(
+        self,
+        n: int,
+        contig: bool,
+        verts: Optional[Tuple[Vertex, ...]],
+        offsets: array,
+        nbr: array,
+        dropped: int,
+    ) -> None:
+        self._n = n
+        self._contig = contig
+        self._verts = verts  # None for contiguous graphs until first use
+        self._offsets = offsets
+        self._nbr = nbr
+        self._index = None
+        self._vset = None
+        self._mv = None
+        self._edges_cache = None
+        self._nbr_tuples = None
+        self._maxdeg = None
+        self.duplicate_edges_dropped = dropped
+
+    @classmethod
+    def from_edge_count(
+        cls, n: int, edges: Iterable[Tuple[Vertex, Vertex]]
+    ) -> "Graph":
+        """Bulk constructor: the graph on vertices ``0..n-1`` with ``edges``.
+
+        This is the fast path the generators use: the whole edge list is
+        turned into CSR arrays in one vectorised pass (two passes in the
+        pure-Python fallback) with no per-edge set mutation.  Duplicate
+        edges — in either orientation — are dropped and counted in
+        :attr:`duplicate_edges_dropped`; self-loops and out-of-range
+        endpoints raise :class:`~repro.errors.InvalidParameterError`.
+        """
+        if n < 0:
+            raise InvalidParameterError(f"from_edge_count: n must be >= 0, got {n}")
+        offsets, nbr, dropped = _csr_from_index_pairs(edges, n)
+        g = cls.__new__(cls)
+        g._init_csr(n, True, None, offsets, nbr, dropped)
+        return g
+
+    # ------------------------------------------------------------------
+    # basic accessors (by original vertex id — the stable public API)
     # ------------------------------------------------------------------
     @property
     def vertices(self) -> Tuple[Vertex, ...]:
         """All vertex ids, sorted ascending."""
-        return self._vertices
+        verts = self._verts
+        if verts is None:
+            verts = self._verts = tuple(range(self._n))
+        return verts
 
     @property
     def edges(self) -> Tuple[Edge, ...]:
         """All edges in canonical ``(min, max)`` form, sorted."""
-        return self._edges
+        cache = self._edges_cache
+        if cache is None:
+            off = self._offsets
+            nbr = self._nbr
+            out: List[Edge] = []
+            extend = out.extend
+            if self._contig:
+                for i in range(self._n):
+                    lo = bisect_left(nbr, i + 1, off[i], off[i + 1])
+                    hi = off[i + 1]
+                    if lo < hi:
+                        extend((i, j) for j in nbr[lo:hi])
+            else:
+                verts = self.vertices
+                for i in range(self._n):
+                    lo = bisect_left(nbr, i + 1, off[i], off[i + 1])
+                    hi = off[i + 1]
+                    if lo < hi:
+                        vi = verts[i]
+                        extend((vi, verts[j]) for j in nbr[lo:hi])
+            cache = self._edges_cache = tuple(out)
+        return cache
 
     @property
     def n(self) -> int:
         """Number of vertices."""
-        return len(self._vertices)
+        return self._n
 
     @property
     def m(self) -> int:
         """Number of edges."""
-        return len(self._edges)
+        return len(self._nbr) // 2
+
+    def _slot(self, v: Vertex) -> int:
+        """Index of vertex id ``v`` (raises ``KeyError`` for unknown ids)."""
+        if self._contig:
+            if 0 <= v < self._n:
+                return v
+            raise KeyError(v)
+        index = self._index
+        if index is None:
+            index = self._index = {u: i for i, u in enumerate(self._verts)}
+        return index[v]
 
     def neighbors(self, v: Vertex) -> Tuple[Vertex, ...]:
-        """The sorted neighbours of ``v``."""
-        return self._adjacency[v]
+        """The sorted neighbours of ``v`` (a tuple of vertex ids)."""
+        i = self._slot(v)
+        cache = self._nbr_tuples
+        if cache is None:
+            cache = self._nbr_tuples = [None] * self._n
+        t = cache[i]
+        if t is None:
+            row = self._nbr[self._offsets[i] : self._offsets[i + 1]]
+            if self._contig:
+                t = tuple(row)
+            else:
+                t = tuple(map(self._verts.__getitem__, row))
+            cache[i] = t
+        return t
 
     def degree(self, v: Vertex) -> int:
-        """The degree of ``v``."""
-        return len(self._adjacency[v])
+        """The degree of ``v`` (O(1) from the CSR offsets)."""
+        i = self._slot(v)
+        return self._offsets[i + 1] - self._offsets[i]
 
     @property
     def max_degree(self) -> int:
         """Δ, the maximum degree (0 for the empty graph)."""
-        if not self._vertices:
-            return 0
-        return max(len(nbrs) for nbrs in self._adjacency.values())
+        if self._maxdeg is None:
+            off = self._offsets
+            self._maxdeg = max(
+                (off[i + 1] - off[i] for i in range(self._n)), default=0
+            )
+        return self._maxdeg
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         """True when ``(u, v)`` is an edge."""
-        return v in self._adjacency.get(u, ())
+        try:
+            iu = self._slot(u)
+            iv = self._slot(v)
+        except KeyError:
+            return False
+        lo, hi = self._offsets[iu], self._offsets[iu + 1]
+        k = bisect_left(self._nbr, iv, lo, hi)
+        return k < hi and self._nbr[k] == iv
 
     def has_vertex(self, v: Vertex) -> bool:
         """True when ``v`` is a vertex of the graph."""
-        return v in self._vertex_set
+        if self._contig:
+            return isinstance(v, int) and 0 <= v < self._n
+        vset = self._vset
+        if vset is None:
+            vset = self._vset = frozenset(self._verts)
+        return v in vset
 
     def __contains__(self, v: Vertex) -> bool:
-        return v in self._vertex_set
+        return self.has_vertex(v)
 
     def __iter__(self) -> Iterator[Vertex]:
-        return iter(self._vertices)
+        return iter(self.vertices)
 
     def __len__(self) -> int:
-        return len(self._vertices)
+        return self._n
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._vertices == other._vertices and self._edges == other._edges
+        if self._n != other._n or len(self._nbr) != len(other._nbr):
+            return False
+        return self.vertices == other.vertices and (
+            self._offsets == other._offsets and self._nbr == other._nbr
+        )
 
     def __hash__(self) -> int:
-        return hash((self._vertices, self._edges))
+        return hash((self.vertices, self._nbr.tobytes()))
 
     def __repr__(self) -> str:
         return f"Graph(n={self.n}, m={self.m})"
 
     # ------------------------------------------------------------------
+    # index API — the allocation-free fast path for hot loops
+    # ------------------------------------------------------------------
+    @property
+    def ids_contiguous(self) -> bool:
+        """True when vertex ids are exactly ``0..n-1`` (index == id)."""
+        return self._contig
+
+    def index_of(self, v: Vertex) -> int:
+        """The index of vertex id ``v`` in the sorted vertex order."""
+        return self._slot(v)
+
+    def vertex_at(self, i: int) -> Vertex:
+        """The vertex id at index ``i`` (inverse of :meth:`index_of`)."""
+        if self._contig:
+            if 0 <= i < self._n:
+                return i
+            raise IndexError(i)
+        return self._verts[i]
+
+    def degree_index(self, i: int) -> int:
+        """Degree of the vertex at index ``i`` (O(1))."""
+        return self._offsets[i + 1] - self._offsets[i]
+
+    def _view(self) -> memoryview:
+        mv = self._mv
+        if mv is None:
+            mv = self._mv = memoryview(self._nbr).toreadonly()
+        return mv
+
+    def neighbors_index(self, i: int) -> memoryview:
+        """Neighbour *indices* of the vertex at index ``i``.
+
+        Returns a read-only zero-copy slice of the CSR neighbour array
+        (sorted ascending).  For contiguous-id graphs indices are ids.
+        """
+        return self._view()[self._offsets[i] : self._offsets[i + 1]]
+
+    def csr(self) -> Tuple[memoryview, memoryview]:
+        """The raw ``(offsets, neighbors)`` CSR arrays as read-only views.
+
+        ``neighbors[offsets[i]:offsets[i+1]]`` are the neighbour indices of
+        the vertex at index ``i``; translate with :meth:`vertex_at` when ids
+        are non-contiguous.
+        """
+        return memoryview(self._offsets).toreadonly(), self._view()
+
+    # ------------------------------------------------------------------
+    # pickling (memoryviews are not picklable; drop derived caches)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (
+            self._n,
+            self._contig,
+            self._verts,
+            self._offsets,
+            self._nbr,
+            self.duplicate_edges_dropped,
+        )
+
+    def __setstate__(self, state):
+        n, contig, verts, offsets, nbr, dropped = state
+        self._init_csr(n, contig, verts, offsets, nbr, dropped)
+
+    # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
     def induced_subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
-        """The subgraph induced by ``vertices`` (original ids are kept)."""
+        """The subgraph induced by ``vertices`` (original ids are kept).
+
+        With numpy available this is one vectorized pass over the batched
+        CSR neighbour array (mask, filter, remap); the fallback filters the
+        edge list in Python.  Both produce identical graphs.
+        """
         keep = set(vertices)
-        missing = keep - self._vertex_set
+        missing = [v for v in keep if not self.has_vertex(v)]
         if missing:
             raise InvalidParameterError(
                 f"induced_subgraph: vertices {sorted(missing)[:5]} not in graph"
             )
-        edges = [
-            (u, v) for (u, v) in self._edges if u in keep and v in keep
-        ]
+        if _np is not None and keep:
+            n = self._n
+            slot = self._slot
+            keep_idx = _np.fromiter(
+                (slot(v) for v in keep), _np.int64, count=len(keep)
+            )
+            keep_idx.sort()
+            k = len(keep_idx)
+            mask = _np.zeros(n, dtype=bool)
+            mask[keep_idx] = True
+            off = _np.frombuffer(self._offsets, dtype=_np.int64)
+            nbr = _np.frombuffer(self._nbr, dtype=_np.int64)
+            src = _np.repeat(_np.arange(n, dtype=_np.int64), _np.diff(off))
+            sel = mask[src] & mask[nbr]
+            remap = _np.full(n, -1, dtype=_np.int64)
+            remap[keep_idx] = _np.arange(k, dtype=_np.int64)
+            rows = remap[src[sel]]
+            cols = remap[nbr[sel]]
+            counts = _np.bincount(rows, minlength=k)
+            off_np = _np.zeros(k + 1, dtype=_np.int64)
+            _np.cumsum(counts, out=off_np[1:])
+            offsets = array("q")
+            offsets.frombytes(off_np.tobytes())
+            sub_nbr = array("q")
+            sub_nbr.frombytes(cols.tobytes())
+            if self._contig:
+                sub_ids = tuple(int(i) for i in keep_idx)
+            else:
+                verts = self.vertices
+                sub_ids = tuple(verts[i] for i in keep_idx)
+            contig = sub_ids[0] == 0 and sub_ids[-1] == k - 1
+            g = Graph.__new__(Graph)
+            g._init_csr(k, contig, None if contig else sub_ids, offsets, sub_nbr, 0)
+            return g
+        edges = [(u, v) for (u, v) in self.edges if u in keep and v in keep]
         return Graph(keep, edges)
 
     def subgraph_of_edges(self, edges: Iterable[Tuple[Vertex, Vertex]]) -> "Graph":
@@ -149,16 +558,27 @@ class Graph:
                 raise InvalidParameterError(
                     f"subgraph_of_edges: ({u}, {v}) is not an edge of the graph"
                 )
-        return Graph(self._vertices, es)
+        return Graph(self.vertices, es)
 
     def relabeled(self) -> Tuple["Graph", Dict[Vertex, Vertex]]:
         """Return a copy with vertices relabeled to ``0..n-1``.
 
-        Returns the new graph and the mapping ``old_id -> new_id``.
+        Returns the new graph and the mapping ``old_id -> new_id``.  The CSR
+        arrays are shared structurally (indices *are* the new ids), so this
+        is O(n) and never re-sorts adjacency.
         """
-        mapping = {v: i for i, v in enumerate(self._vertices)}
-        edges = [(mapping[u], mapping[v]) for (u, v) in self._edges]
-        return Graph(range(self.n), edges), mapping
+        verts = self.vertices
+        mapping = {v: i for i, v in enumerate(verts)}
+        g = Graph.__new__(Graph)
+        g._init_csr(
+            self._n,
+            True,
+            None,
+            self._offsets,
+            self._nbr,
+            self.duplicate_edges_dropped,
+        )
+        return g, mapping
 
     # ------------------------------------------------------------------
     # interop
@@ -173,8 +593,8 @@ class Graph:
         import networkx as nx
 
         g = nx.Graph()
-        g.add_nodes_from(self._vertices)
-        g.add_edges_from(self._edges)
+        g.add_nodes_from(self.vertices)
+        g.add_edges_from(self.edges)
         return g
 
     @classmethod
@@ -187,4 +607,4 @@ class Graph:
     @classmethod
     def empty(cls, n: int) -> "Graph":
         """The edgeless graph on vertices ``0..n-1``."""
-        return cls(range(n), [])
+        return cls.from_edge_count(n, [])

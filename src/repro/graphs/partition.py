@@ -37,9 +37,9 @@ def dense_relabel(labels: Mapping[Vertex, Hashable]) -> Dict[Vertex, int]:
     Relabeling is deterministic: labels are ordered by their sorted repr,
     so two runs over the same input agree.
     """
-    distinct = sorted({repr(l) for l in labels.values()})
+    distinct = sorted({repr(lab) for lab in labels.values()})
     index = {r: i for i, r in enumerate(distinct)}
-    return {v: index[repr(l)] for v, l in labels.items()}
+    return {v: index[repr(lab)] for v, lab in labels.items()}
 
 
 def parts_of(labels: Mapping[Vertex, Hashable]) -> Dict[Hashable, List[Vertex]]:

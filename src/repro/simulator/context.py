@@ -68,7 +68,9 @@ class NodeContext:
     ):
         self.node = node
         self.neighbors = neighbors
-        self._neighbor_set = frozenset(neighbors)
+        # Built lazily on the first send(): only send-validation needs the
+        # set, and broadcast-only programs never pay for it.
+        self._neighbor_set: Optional[frozenset] = None
         self.globals = global_params
         #: messages received at the start of the current round: sender -> payload
         self.inbox: Dict[Vertex, Any] = {}
@@ -98,7 +100,10 @@ class NodeContext:
         :class:`~repro.errors.SimulationError` — there is no routing in the
         LOCAL model.
         """
-        if to not in self._neighbor_set:
+        ns = self._neighbor_set
+        if ns is None:
+            ns = self._neighbor_set = frozenset(self.neighbors)
+        if to not in ns:
             raise SimulationError(
                 f"node {self.node} tried to send to non-neighbour {to}"
             )
@@ -106,8 +111,7 @@ class NodeContext:
 
     def broadcast(self, payload: Any) -> None:
         """Queue the same message to every visible neighbour."""
-        for u in self.neighbors:
-            self._outbox.append((u, payload))
+        self._outbox.extend([(u, payload) for u in self.neighbors])
 
     def halt(self, output: Any = None) -> None:
         """Stop participating; record ``output`` as the node's result.
@@ -143,7 +147,9 @@ class NodeContext:
         round".  Without an idle declaration the node is activated every
         round anyway and the wakeup is moot.  Cleared by every activation.
         """
-        self._wake_round = max(int(round_number), self.round_number + 1)
+        r = int(round_number)
+        nxt = self.round_number + 1
+        self._wake_round = r if r > nxt else nxt
 
     def wake_in(self, rounds: int) -> None:
         """Request a self-wakeup ``rounds`` rounds from the current one."""

@@ -10,7 +10,7 @@ report both the total and the breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .network import RunResult
 

@@ -53,7 +53,7 @@ count is the max over parts, exactly like real parallel execution.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import RoundLimitExceeded, SimulationError
@@ -168,51 +168,76 @@ class SynchronousNetwork:
             )
         graph = self.graph
         if participants is None:
-            active_set = set(graph.vertices)
+            order: Tuple[Vertex, ...] = graph.vertices
+            active_set = None
         else:
             active_set = set(participants)
             for v in active_set:
                 if not graph.has_vertex(v):
                     raise SimulationError(f"participant {v} is not a vertex")
+            # The deterministic activation order: ascending vertex id.
+            order = tuple(sorted(active_set))
         if round_limit is None:
             round_limit = DEFAULT_ROUND_LIMIT_FACTOR * max(1, graph.n) + 1000
 
         gp: Dict[str, Any] = dict(global_params or {})
         gp.setdefault("n", graph.n)
 
-        # The deterministic activation order, computed exactly once: nodes
-        # are always activated in ascending vertex order within a round.
-        order: Tuple[Vertex, ...] = tuple(sorted(active_set))
+        # Everything below runs in *slot* space: slot i is the i-th
+        # participant in ascending-id order, and all per-node state lives in
+        # flat lists indexed by slot — no id-keyed dict lookups in the inner
+        # loops.  When the graph has contiguous ids and everyone
+        # participates (the common case), slot == vertex id and the id→slot
+        # map is skipped entirely.
+        S = len(order)
+        full = active_set is None or len(active_set) == graph.n
+        identity = full and getattr(graph, "ids_contiguous", False)
+        rank: Optional[Dict[Vertex, int]] = (
+            None if identity else {v: i for i, v in enumerate(order)}
+        )
 
-        # Build contexts with visibility filtered to participants (and to the
-        # same part when a labeling is given).
-        contexts: Dict[Vertex, NodeContext] = {}
-        programs: Dict[Vertex, NodeProgram] = {}
+        # Build contexts with visibility filtered to participants (and to
+        # the same part when a labeling is given).  Unrestricted runs reuse
+        # the graph's cached neighbour tuples — no per-run filtering pass.
+        contexts: List[NodeContext] = []
+        programs: List[NodeProgram] = []
         for v in order:
             if part_of is not None:
                 label = part_of.get(v)
                 visible = tuple(
                     u
                     for u in graph.neighbors(v)
-                    if u in active_set and part_of.get(u) == label
+                    if (active_set is None or u in active_set)
+                    and part_of.get(u) == label
                 )
+                ctx = NodeContext(v, visible, gp)
+            elif not full:
+                visible = tuple(
+                    u for u in graph.neighbors(v) if u in active_set
+                )
+                ctx = NodeContext(v, visible, gp)
             else:
-                visible = tuple(u for u in graph.neighbors(v) if u in active_set)
-            contexts[v] = NodeContext(v, visible, gp)
-            programs[v] = program_factory()
+                ctx = NodeContext(v, graph.neighbors(v), gp)
+            contexts.append(ctx)
+            programs.append(program_factory())
 
-        running = set(active_set)
+        running = bytearray(b"\x01") * S
+        running_count = S
         messages = 0
         message_bytes = 0
         max_message_bytes = 0
-        # pending[dest] = {sender: payload} for the next round
-        pending: Dict[Vertex, Dict[Vertex, Any]] = {}
+        # The batched per-round delivery buffer: pending[slot] is the inbox
+        # dict {sender_id: payload} being assembled for the next round.
+        pending: Dict[int, Dict[Vertex, Any]] = {}
 
         current_round = 0
+        # Byte counting and tracing are rare; keeping them in a slow-path
+        # helper keeps the per-message fast path branch-free.
+        slow_path = count_bytes or trace is not None
 
-        def dispatch(sender: Vertex, ctx: NodeContext) -> None:
+        def dispatch_slow(sender: Vertex, outbox) -> None:
             nonlocal messages, message_bytes, max_message_bytes
-            for dest, payload in ctx.drain_outbox():
+            for dest, payload in outbox:
                 messages += 1
                 if count_bytes:
                     size = payload_size(payload)
@@ -221,67 +246,101 @@ class SynchronousNetwork:
                         max_message_bytes = size
                 if trace is not None:
                     trace.record(current_round, sender, dest, payload)
-                pending.setdefault(dest, {})[sender] = payload
+                slot = dest if rank is None else rank[dest]
+                box = pending.get(slot)
+                if box is None:
+                    box = pending[slot] = {}
+                box[sender] = payload
 
-        # Event-scheduler state.  ``awake`` holds the running nodes that have
+        # Event-scheduler state.  ``awake`` holds the running slots that have
         # NOT declared idleness (they are activated every round); ``wake_round``
         # is the authoritative wakeup book, ``wake_heap`` its lazy min-heap
         # (stale entries are skipped on pop).
-        awake = set(active_set)
-        wake_round: Dict[Vertex, int] = {}
-        wake_heap: List[Tuple[int, int]] = []  # (round, order-rank)
-        rank = {v: i for i, v in enumerate(order)}
-
-        def note_schedule(v: Vertex, ctx: NodeContext) -> None:
-            """Record one activation's quiescence declaration (event mode)."""
-            idle, wake = ctx.consume_schedule()
-            if ctx.halted:
-                return
-            if idle:
-                awake.discard(v)
-            else:
-                awake.add(v)
-            if wake is not None:
-                wake_round[v] = wake
-                heapq.heappush(wake_heap, (wake, rank[v]))
+        awake = set(range(S))
+        wake_round: Dict[int, int] = {}
+        wake_heap: List[Tuple[int, int]] = []  # (round, slot)
+        heappush = heapq.heappush
 
         # Round 0: on_start for everyone, no inbound messages yet.
-        for v in order:
-            ctx = contexts[v]
-            programs[v].on_start(ctx)
-            dispatch(v, ctx)
+        for slot in range(S):
+            ctx = contexts[slot]
+            programs[slot].on_start(ctx)
+            outbox = ctx._outbox
+            if outbox:
+                ctx._outbox = []
+                if slow_path:
+                    dispatch_slow(ctx.node, outbox)
+                else:
+                    messages += len(outbox)
+                    sender = ctx.node
+                    for dest, payload in outbox:
+                        dslot = dest if rank is None else rank[dest]
+                        box = pending.get(dslot)
+                        if box is None:
+                            box = pending[dslot] = {}
+                        box[sender] = payload
             if mode == "event":
-                note_schedule(v, ctx)
+                idle = ctx._idle_requested
+                wake = ctx._wake_round
+                if idle:
+                    ctx._idle_requested = False
+                if wake is not None:
+                    ctx._wake_round = None
+                if not ctx.halted:
+                    if idle:
+                        awake.discard(slot)
+                    else:
+                        awake.add(slot)
+                    if wake is not None:
+                        wake_round[slot] = wake
+                        heappush(wake_heap, (wake, slot))
             else:
-                ctx.consume_schedule()
+                ctx._idle_requested = False
+                ctx._wake_round = None
             if ctx.halted:
-                running.discard(v)
-                awake.discard(v)
+                running[slot] = 0
+                running_count -= 1
+                awake.discard(slot)
 
         rounds = 0
         if mode == "dense":
-            while running:
+            while running_count:
                 if rounds >= round_limit:
-                    raise RoundLimitExceeded(round_limit, len(running))
+                    raise RoundLimitExceeded(round_limit, running_count)
                 rounds += 1
                 current_round = rounds
                 delivery = pending
                 pending = {}
-                for v in order:
-                    if v not in running:
+                for slot in range(S):
+                    if not running[slot]:
                         continue
-                    ctx = contexts[v]
-                    ctx.inbox = delivery.get(v, {})
+                    ctx = contexts[slot]
+                    ctx.inbox = delivery.get(slot, {})
                     ctx.round_number = rounds
-                    programs[v].on_round(ctx)
-                    dispatch(v, ctx)
-                    ctx.consume_schedule()
-                for v in list(running):
-                    if contexts[v].halted:
-                        running.discard(v)
+                    programs[slot].on_round(ctx)
+                    outbox = ctx._outbox
+                    if outbox:
+                        ctx._outbox = []
+                        if slow_path:
+                            dispatch_slow(ctx.node, outbox)
+                        else:
+                            messages += len(outbox)
+                            sender = ctx.node
+                            for dest, payload in outbox:
+                                dslot = dest if rank is None else rank[dest]
+                                box = pending.get(dslot)
+                                if box is None:
+                                    box = pending[dslot] = {}
+                                box[sender] = payload
+                    ctx._idle_requested = False
+                    ctx._wake_round = None
+                for slot in range(S):
+                    if running[slot] and contexts[slot].halted:
+                        running[slot] = 0
+                        running_count -= 1
                 # Messages addressed to halted nodes are dropped silently.
         else:
-            while running:
+            while running_count:
                 # Pick the next round in which anything can happen.  With a
                 # non-idle node or a message in flight that is the very next
                 # round; otherwise fast-forward to the earliest wakeup.
@@ -290,9 +349,8 @@ class SynchronousNetwork:
                 else:
                     next_round = None
                     while wake_heap:
-                        r, i = wake_heap[0]
-                        v = order[i]
-                        if v in running and wake_round.get(v) == r:
+                        r, slot = wake_heap[0]
+                        if running[slot] and wake_round.get(slot) == r:
                             next_round = max(r, rounds + 1)
                             break
                         heapq.heappop(wake_heap)  # stale entry
@@ -300,9 +358,9 @@ class SynchronousNetwork:
                         # Every running node sleeps forever: the dense engine
                         # could only exit this state at the round limit, so
                         # fail the same way — just without the wait.
-                        raise RoundLimitExceeded(round_limit, len(running))
+                        raise RoundLimitExceeded(round_limit, running_count)
                 if next_round > round_limit:
-                    raise RoundLimitExceeded(round_limit, len(running))
+                    raise RoundLimitExceeded(round_limit, running_count)
                 rounds = next_round
                 current_round = rounds
                 delivery = pending
@@ -310,37 +368,67 @@ class SynchronousNetwork:
                 # Activatable this round: every awake node, every node with
                 # mail, and every node whose wakeup is due.
                 cand = set(awake)
-                for v in delivery:
-                    if v in running:
-                        cand.add(v)
+                for slot in delivery:
+                    if running[slot]:
+                        cand.add(slot)
                 while wake_heap and wake_heap[0][0] <= rounds:
-                    r, i = heapq.heappop(wake_heap)
-                    v = order[i]
-                    if v in running and wake_round.get(v) == r:
-                        cand.add(v)
-                # Deterministic ascending-id activation without re-sorting
-                # the whole running set: sort the candidates when they are
-                # few, walk the precomputed order when most nodes are active.
-                if len(cand) * 4 < len(order):
+                    r, slot = heapq.heappop(wake_heap)
+                    if running[slot] and wake_round.get(slot) == r:
+                        cand.add(slot)
+                # Deterministic ascending-id activation (slot order is id
+                # order) without re-sorting the whole running set: sort the
+                # candidates when they are few, walk the slot range when
+                # most nodes are active.
+                if len(cand) * 4 < S:
                     schedule = sorted(cand)
                 else:
-                    schedule = (v for v in order if v in cand)
-                for v in schedule:
-                    ctx = contexts[v]
-                    wake_round.pop(v, None)  # any activation clears the wakeup
-                    ctx.inbox = delivery.get(v, {})
+                    schedule = (s for s in range(S) if s in cand)
+                for slot in schedule:
+                    ctx = contexts[slot]
+                    wake_round.pop(slot, None)  # activation clears the wakeup
+                    ctx.inbox = delivery.get(slot, {})
                     ctx.round_number = rounds
-                    programs[v].on_round(ctx)
-                    dispatch(v, ctx)
-                    note_schedule(v, ctx)
-                for v in cand:
-                    if contexts[v].halted:
-                        running.discard(v)
-                        awake.discard(v)
-                        wake_round.pop(v, None)
+                    programs[slot].on_round(ctx)
+                    outbox = ctx._outbox
+                    if outbox:
+                        ctx._outbox = []
+                        if slow_path:
+                            dispatch_slow(ctx.node, outbox)
+                        else:
+                            messages += len(outbox)
+                            sender = ctx.node
+                            for dest, payload in outbox:
+                                dslot = dest if rank is None else rank[dest]
+                                box = pending.get(dslot)
+                                if box is None:
+                                    box = pending[dslot] = {}
+                                box[sender] = payload
+                    # inline note_schedule: this is the hottest line pair in
+                    # the event engine
+                    idle = ctx._idle_requested
+                    wake = ctx._wake_round
+                    if idle:
+                        ctx._idle_requested = False
+                    if wake is not None:
+                        ctx._wake_round = None
+                    if not ctx.halted:
+                        if idle:
+                            awake.discard(slot)
+                        else:
+                            awake.add(slot)
+                        if wake is not None:
+                            wake_round[slot] = wake
+                            heappush(wake_heap, (wake, slot))
+                for slot in cand:
+                    if contexts[slot].halted:
+                        if running[slot]:
+                            running[slot] = 0
+                            running_count -= 1
+                        awake.discard(slot)
+                        wake_round.pop(slot, None)
                 # Messages addressed to halted nodes are dropped silently.
 
-        outputs = {v: contexts[v].output for v in active_set}
+        outputs = {ctx.node: ctx.output for ctx in contexts}
         return RunResult(
             outputs=outputs,
             rounds=rounds,

@@ -38,7 +38,6 @@ both schedulers for any program honouring the contract.
 
 from __future__ import annotations
 
-from typing import Any
 
 from .context import NodeContext
 

@@ -9,7 +9,7 @@ debugging a new node program.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from ..types import Vertex
 from .message import payload_size

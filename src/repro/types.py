@@ -10,7 +10,7 @@ vertex ids of the input graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 Vertex = int
 Edge = Tuple[Vertex, Vertex]

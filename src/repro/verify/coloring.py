@@ -7,12 +7,12 @@ observed quantity so benchmarks can report paper-bound vs. measured.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import VerificationError
 from ..graphs.arboricity import degeneracy, nash_williams_lower_bound
 from ..graphs.graph import Graph
-from ..types import Orientation, Vertex, canonical_edge
+from ..types import Orientation, Vertex
 
 
 def check_legal_coloring(graph: Graph, colors: Mapping[Vertex, int]) -> None:

@@ -7,7 +7,7 @@ bound.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List
 
 from ..errors import VerificationError
 from ..graphs.graph import Graph

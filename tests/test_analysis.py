@@ -1,7 +1,5 @@
 """Bound formulas, slope fitting, table rendering."""
 
-import math
-import os
 
 import pytest
 

@@ -10,7 +10,7 @@ from repro.core import (
     simple_arbdefective,
 )
 from repro.errors import InvalidParameterError
-from repro.graphs import forest_union, planar_triangulation
+from repro.graphs import forest_union
 from repro.verify import (
     check_arbdefective_coloring,
     orientation_length,

@@ -1,6 +1,5 @@
 """Degeneracy, Nash–Williams bounds, pseudoarboricity (max-flow)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Graph

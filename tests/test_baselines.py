@@ -1,6 +1,5 @@
 """Baselines: BE08 coloring, Luby coloring, sequential greedy."""
 
-import pytest
 
 from repro import SynchronousNetwork
 from repro.core import (

@@ -11,7 +11,6 @@ from repro.core import (
 )
 from repro.errors import SimulationError
 from repro.graphs import binary_tree, path, random_tree, star, forest_union
-from repro.types import canonical_edge
 
 
 def parent_map_by_id(graph):

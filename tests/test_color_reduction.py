@@ -7,10 +7,9 @@ from repro.core import (
     delta_plus_one_coloring,
     greedy_reduction,
     kuhn_wattenhofer_reduction,
-    linial_coloring,
 )
 from repro.errors import InvalidParameterError, SimulationError
-from repro.graphs import forest_union, grid, random_regular, random_tree
+from repro.graphs import grid, random_regular, random_tree
 from repro.verify import check_legal_coloring
 
 

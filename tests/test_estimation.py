@@ -13,7 +13,6 @@ from repro.graphs import (
     complete_graph,
     forest_union,
     nash_williams_lower_bound,
-    planar_triangulation,
     random_tree,
 )
 from repro.verify import check_hpartition, check_legal_coloring

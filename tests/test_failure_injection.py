@@ -20,7 +20,6 @@ from repro.core import (
 )
 from repro.errors import VerificationError
 from repro.graphs import forest_union
-from repro.types import canonical_edge
 from repro.verify import (
     check_arbdefective_coloring,
     check_forests_decomposition,

@@ -1,10 +1,9 @@
 """Forests decomposition (Lemma 2.2(2)) and its orientation (Lemma 2.4)."""
 
-import pytest
 
 from repro import SynchronousNetwork
 from repro.core import compute_hpartition, forests_decomposition, hpartition_orientation
-from repro.graphs import forest_union, is_forest, planar_triangulation, random_tree
+from repro.graphs import is_forest
 from repro.verify import (
     check_forests_decomposition,
     check_orientation_acyclic,

@@ -16,7 +16,6 @@ from repro.graphs import (
     path,
     planar_triangulation,
     preferential_attachment,
-    pseudoarboricity,
     random_geometric,
     random_regular,
     random_tree,

@@ -1,14 +1,12 @@
 """H-partition (Lemma 2.3): defining property, level counts, failure modes."""
 
-import math
 
 import pytest
 
 from repro import SynchronousNetwork
 from repro.core import compute_hpartition, degree_threshold, expected_num_levels
-from repro.core.hpartition import HPartitionProgram
 from repro.errors import InvalidParameterError, SimulationError
-from repro.graphs import complete_graph, forest_union, random_tree, ring
+from repro.graphs import complete_graph, forest_union, ring
 from repro.verify import check_hpartition
 
 

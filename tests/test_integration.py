@@ -28,7 +28,6 @@ from repro.graphs import (
     planar_triangulation,
     preferential_attachment,
     random_tree,
-    standard_families,
 )
 from repro.verify import (
     check_forests_decomposition,

@@ -6,7 +6,7 @@ from repro import SynchronousNetwork
 from repro.analysis import log_star
 from repro.core import kuhn_defective_coloring, linial_coloring
 from repro.errors import InvalidParameterError
-from repro.graphs import forest_union, random_regular, random_tree, ring
+from repro.graphs import random_regular, random_tree, ring
 from repro.verify import check_legal_coloring, coloring_defect
 
 

@@ -1,17 +1,15 @@
 """MIS: the §1.2 deterministic algorithm, the class sweep, Luby's baseline."""
 
-import pytest
 
 from repro import SynchronousNetwork
 from repro.core import (
     greedy_mis_sequential,
-    legal_coloring_theorem43,
     luby_mis,
     mis_arboricity,
     mis_from_coloring,
     sequential_greedy_coloring,
 )
-from repro.graphs import forest_union, path, random_tree, ring, star
+from repro.graphs import forest_union, path, ring, star
 from repro.verify import check_mis
 
 

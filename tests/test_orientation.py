@@ -15,7 +15,7 @@ from repro.core import (
     partial_orientation,
 )
 from repro.errors import InvalidParameterError
-from repro.graphs import forest_union, planar_triangulation, random_tree
+from repro.graphs import forest_union
 from repro.verify import (
     check_legal_coloring,
     check_orientation_acyclic,

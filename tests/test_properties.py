@@ -4,10 +4,9 @@ Hypothesis generates arbitrary-ish bounded-arboricity graphs; every paper
 guarantee must hold on all of them, not just the fixture families.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import Graph, SynchronousNetwork
+from repro import SynchronousNetwork
 from repro.core import (
     arbdefective_coloring,
     compute_hpartition,

@@ -1,10 +1,9 @@
 """Additional property-based tests: Cole–Vishkin, reductions, ruling sets,
 estimation — random inputs through the newer parts of the stack."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import Graph, SynchronousNetwork
+from repro import SynchronousNetwork
 from repro.core import (
     cole_vishkin_forest,
     greedy_reduction,

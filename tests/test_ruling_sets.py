@@ -1,6 +1,5 @@
 """The AGLP (2, O(log n))-ruling set."""
 
-import pytest
 
 from repro import Graph, SynchronousNetwork
 from repro.core import ruling_set, ruling_set_domination_radius

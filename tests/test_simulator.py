@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Graph, NodeContext, NodeProgram, SynchronousNetwork
+from repro import Graph, NodeProgram, SynchronousNetwork
 from repro.errors import RoundLimitExceeded, SimulationError
 from repro.simulator import FunctionProgram, RoundLedger, payload_size
 from repro.simulator.message import Envelope

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Graph, NodeContext, NodeProgram, SynchronousNetwork
+from repro import Graph, NodeProgram, SynchronousNetwork
 from repro.errors import RoundLimitExceeded
 from repro.simulator import MessageTrace
 

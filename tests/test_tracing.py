@@ -8,7 +8,6 @@ the MessageTrace API.
 
 import math
 
-import pytest
 
 from repro import Graph, SynchronousNetwork
 from repro.core import (

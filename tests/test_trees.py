@@ -11,15 +11,7 @@ from repro.core import (
     root_forest_by_bfs,
 )
 from repro.errors import InvalidParameterError
-from repro.graphs import (
-    binary_tree,
-    disjoint_union,
-    forest_union,
-    path,
-    random_tree,
-    ring,
-    star,
-)
+from repro.graphs import binary_tree, disjoint_union, path, random_tree, ring, star
 from repro.verify import check_mis
 
 

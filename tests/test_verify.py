@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Graph
 from repro.errors import VerificationError
 from repro.graphs import complete_graph, path, ring
 from repro.types import ForestsDecomposition, HPartition, Orientation

@@ -215,12 +215,14 @@ def _default_sweep_spec(n: int, num_seeds: int):
 
 
 def _cmd_sweep(args) -> int:
+    from .errors import InvalidParameterError
     from .experiments import (
         ResultCache,
         SweepSpec,
         default_workers,
         report_table,
         run_sweep,
+        stage_timing_table,
     )
 
     if args.spec:
@@ -254,12 +256,23 @@ def _cmd_sweep(args) -> int:
         )
         cache = ResultCache(cache_dir)
 
-    workers = args.workers if args.workers is not None else default_workers()
-    result = run_sweep(spec, cache=cache, workers=workers, progress=print)
+    try:
+        workers = args.workers if args.workers is not None else default_workers()
+        result = run_sweep(
+            spec,
+            cache=cache,
+            workers=workers,
+            progress=print,
+            use_shm=False if args.no_shm else None,
+        )
+    except InvalidParameterError as exc:
+        raise SystemExit(str(exc))
 
+    if args.stage_timings:
+        print(stage_timing_table(result))
     if args.report:
         print(report_table(result))
-    else:
+    elif not args.stage_timings:
         rows = [
             [tr.trial.family, tr.trial.algorithm, tr.trial.seed,
              tr.metrics.get("n", "-"), tr.metrics.get("rounds", "-"),
@@ -335,7 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seeds", type=int, default=2,
                          help="replicates per scenario for the built-in sweep")
     p_sweep.add_argument("--workers", type=int, default=None,
-                         help="pool size (default: min(cores, 8); 1 = serial)")
+                         help="pool size (default: min(cores, cap) with the "
+                         "cap of 8 overridable via $REPRO_WORKERS; 1 = serial)")
     p_sweep.add_argument("--cache-dir", default=None,
                          help="result cache directory "
                          f"(default: $REPRO_CACHE_DIR or ./.repro-cache)")
@@ -343,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="recompute everything; do not read or write the cache")
     p_sweep.add_argument("--report", action="store_true",
                          help="print the percentile aggregation instead of per-trial rows")
+    p_sweep.add_argument("--stage-timings", action="store_true",
+                         help="print mean per-stage wall times "
+                         "(build_graph/run_algorithm/verify/metrics) per group")
+    p_sweep.add_argument("--no-shm", action="store_true",
+                         help="disable shared-memory graph publishing for "
+                         "parallel runs (pickle fallback; $REPRO_NO_SHM=1 "
+                         "does the same)")
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 

@@ -19,9 +19,24 @@ See :mod:`repro.experiments.spec` for the spec format,
 ``repro sweep --help`` for the CLI surface.
 """
 
-from .aggregate import GroupSummary, percentile, report_table, summarize
+from .aggregate import (
+    GroupSummary,
+    percentile,
+    report_table,
+    stage_timing_table,
+    summarize,
+)
 from .cache import ResultCache
-from .registry import ALGORITHMS, FAMILIES, build_instance, execute_trial
+from .graphstore import GraphStore, ShmGraphRef, shm_available
+from .registry import (
+    ALGORITHMS,
+    FAMILIES,
+    STAGES,
+    AlgorithmSpec,
+    build_instance,
+    execute_payload,
+    execute_trial,
+)
 from .runner import SweepResult, TrialResult, default_workers, run_sweep
 from .spec import (
     SPEC_VERSION,
@@ -43,8 +58,14 @@ __all__ = [
     "derive_seed",
     "FAMILIES",
     "ALGORITHMS",
+    "AlgorithmSpec",
+    "STAGES",
     "build_instance",
     "execute_trial",
+    "execute_payload",
+    "GraphStore",
+    "ShmGraphRef",
+    "shm_available",
     "ResultCache",
     "run_sweep",
     "SweepResult",
@@ -53,5 +74,6 @@ __all__ = [
     "percentile",
     "summarize",
     "report_table",
+    "stage_timing_table",
     "GroupSummary",
 ]

@@ -16,9 +16,16 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis import render_table
+from .registry import STAGES
 from .runner import SweepResult, TrialResult
 
-__all__ = ["percentile", "summarize", "report_table", "GroupSummary"]
+__all__ = [
+    "percentile",
+    "summarize",
+    "report_table",
+    "stage_timing_table",
+    "GroupSummary",
+]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -172,3 +179,45 @@ def report_table(
 
 def _maybe(v: Optional[float]) -> object:
     return "-" if v is None else v
+
+
+def stage_timing_table(
+    sweep: SweepResult,
+    by: Sequence[str] = ("family", "algorithm"),
+    title: Optional[str] = None,
+) -> str:
+    """Render mean per-stage wall times per group, in milliseconds.
+
+    Unlike :func:`report_table` this is *deliberately* machine- and
+    run-dependent — it answers "where does the wall clock go" (graph build
+    vs. algorithm vs. verification), the question the staged engine exists
+    for.  Trials served from a pre-staged cache record carry no stage
+    timings and are excluded from the means (the ``timed`` column says how
+    many contributed).
+    """
+    groups = summarize(sweep.results, by=by)
+    headers = list(by) + ["trials", "timed"]
+    headers += [f"{s} ms" for s in STAGES] + ["total ms"]
+    rows = []
+    for g in groups:
+        timed = [t for t in g.trials if t.stages]
+        row: List[object] = [g.group[f] for f in by]
+        row.append(g.count)
+        row.append(len(timed))
+        total = 0.0
+        for stage in STAGES:
+            if timed:
+                mean_s = sum(t.stages.get(stage, 0.0) for t in timed) / len(timed)
+                total += mean_s
+                row.append(round(1e3 * mean_s, 2))
+            else:
+                row.append("-")
+        row.append(round(1e3 * total, 2) if timed else "-")
+        rows.append(row)
+    return render_table(
+        title or f"stage timings — {sweep.name}",
+        headers,
+        rows,
+        note="mean wall time per trial stage (machine-dependent; cached "
+        "records keep the timings of the run that computed them)",
+    )

@@ -167,6 +167,20 @@ class ResultCache:
             os.close(fd)  # closing drops the flock
 
     # -- maintenance ---------------------------------------------------
+    def refresh(self) -> int:
+        """Drop the in-memory view and re-read the shards from disk.
+
+        For monitors watching a sweep another process is streaming into the
+        store (the runner persists each record as its trial completes):
+        ``refresh()`` picks up whatever landed since the last load.  Returns
+        the number of records now visible.  ``corrupt_lines`` is reset to
+        the re-read's count (it describes the store's current state, not a
+        running total across polls).
+        """
+        self._records = None
+        self.corrupt_lines = 0
+        return len(self._load())
+
     def compact(self) -> int:
         """Rewrite every shard with one line per key; returns lines dropped.
 

@@ -1,0 +1,229 @@
+"""Content-addressed store of built graph instances, shared across workers.
+
+Barenboim–Elkin's pipeline is staged: one graph (and its decomposition)
+feeds many downstream algorithm runs.  The sweep engine mirrors that shape:
+an ablation sweep varies algorithm parameters over the *same* graphs, so
+rebuilding each instance per trial wastes most of the wall clock.  The
+:class:`GraphStore` builds every unique graph **once** in the parent —
+keyed by :meth:`repro.experiments.spec.TrialSpec.graph_key`, i.e. the
+``(family, family_params, seed)`` content the builder actually sees — and
+hands it to the trial executors three ways, fastest available first:
+
+* **shared memory** (``workers > 1``): the CSR arrays are published once
+  per unique graph via :meth:`repro.graphs.graph.Graph.to_shm` and every
+  worker attaches zero-copy with :meth:`~repro.graphs.graph.Graph.from_shm`
+  (a per-process attach cache keeps one attachment per segment);
+* **pickle fallback** (``REPRO_NO_SHM=1`` or platforms without
+  ``multiprocessing.shared_memory``): the built
+  :class:`~repro.graphs.generators.GeneratedGraph` rides inside the trial
+  payload — built once, but pickled into each sharing trial's payload by
+  the pool's dispatch (the fallback saves the builds, not the copies);
+* **in-process** (``workers == 1``): the object itself is passed through.
+
+All three paths produce byte-identical CSR arrays (shm attach is a view of
+the same bytes, pickling round-trips them), so trial metrics never depend
+on the transport — the equivalence suite pins that down.
+
+The store owns its segments: :meth:`close` (or use as a context manager)
+closes and unlinks everything it published.  Worker processes never unlink;
+a worker that dies mid-trial costs nothing because the parent still holds
+the segment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..graphs import GeneratedGraph
+from ..graphs.graph import Graph
+from .registry import build_instance
+from .spec import TrialSpec
+
+__all__ = ["GraphStore", "ShmGraphRef", "shm_available"]
+
+#: environment switch: truthy disables shared memory (pickle fallback)
+NO_SHM_ENV = "REPRO_NO_SHM"
+
+_shm_probe: Optional[bool] = None
+
+
+def _no_shm_requested() -> bool:
+    """True when ``REPRO_NO_SHM`` is set to something truthy.
+
+    ``0``/``false``/``no``/empty mean "not disabled" — a user exporting
+    ``REPRO_NO_SHM=0`` wants shared memory on, not a silent fallback.
+    """
+    return os.environ.get(NO_SHM_ENV, "").strip().lower() not in (
+        "", "0", "false", "no",
+    )
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` actually works here.
+
+    Probes once per process by creating (and immediately unlinking) a tiny
+    segment — importing the module is not enough on platforms without a
+    usable ``/dev/shm``.
+    """
+    global _shm_probe
+    if _shm_probe is None:
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=8)
+            seg.close()
+            seg.unlink()
+            _shm_probe = True
+        except Exception:
+            _shm_probe = False
+    return _shm_probe
+
+
+@dataclass(frozen=True)
+class ShmGraphRef:
+    """Picklable pointer to a published graph segment.
+
+    Carries the :class:`~repro.graphs.generators.GeneratedGraph` metadata
+    (certified arboricity bound, family name, params) alongside the segment
+    name, so a worker can reassemble the full instance without touching the
+    family builder.
+    """
+
+    graph_key: str
+    shm_name: str
+    name: str
+    arboricity_bound: int
+    params: Dict[str, object]
+
+
+#: worker-side attach cache: one zero-copy attachment per segment per process
+_ATTACHED: Dict[str, GeneratedGraph] = {}
+
+
+def attach_graph(ref: ShmGraphRef) -> GeneratedGraph:
+    """Attach to a published graph (cached per process, one map per segment)."""
+    gen = _ATTACHED.get(ref.shm_name)
+    if gen is None:
+        gen = GeneratedGraph(
+            Graph.from_shm(ref.shm_name),
+            ref.arboricity_bound,
+            ref.name,
+            dict(ref.params),
+        )
+        _ATTACHED[ref.shm_name] = gen
+    return gen
+
+
+def resolve_graph(
+    graph: object,
+) -> Tuple[Optional[GeneratedGraph], str]:
+    """Turn a trial payload's ``graph`` field into an instance + provenance.
+
+    Returns ``(gen, source)`` where ``source`` is ``"shm"`` (attached),
+    ``"pickled"`` (rode in the payload), or ``"built"`` (``None`` — the
+    executor must run the family builder itself).
+    """
+    if graph is None:
+        return None, "built"
+    if isinstance(graph, ShmGraphRef):
+        return attach_graph(graph), "shm"
+    if isinstance(graph, GeneratedGraph):
+        return graph, "pickled"
+    raise TypeError(f"unsupported graph payload: {type(graph).__name__}")
+
+
+class GraphStore:
+    """Parent-side build-once store; see the module docstring.
+
+    Parameters
+    ----------
+    use_shm:
+        ``True``/``False`` forces the transport; ``None`` (default) uses
+        shared memory when it is available and ``REPRO_NO_SHM`` is unset.
+    """
+
+    def __init__(self, use_shm: Optional[bool] = None):
+        if use_shm is None:
+            use_shm = shm_available() and not _no_shm_requested()
+        self.use_shm = bool(use_shm)
+        self._graphs: Dict[str, GeneratedGraph] = {}
+        self._segments: Dict[str, object] = {}  # graph_key -> SharedMemory
+        #: graph_key -> (name, arboricity_bound, params) of published graphs,
+        #: kept so refs can be minted after the heap copy is discarded
+        self._meta: Dict[str, tuple] = {}
+        self.builds = 0
+        self.reuses = 0
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def get(self, trial: TrialSpec) -> GeneratedGraph:
+        """The built instance for ``trial``, deduped by its graph key."""
+        gkey = trial.graph_key()
+        gen = self._graphs.get(gkey)
+        if gen is None:
+            gen = build_instance(trial)
+            self._graphs[gkey] = gen
+            self.builds += 1
+        else:
+            self.reuses += 1
+        return gen
+
+    def payload_graph(self, trial: TrialSpec, for_pool: bool) -> object:
+        """What to put in a trial payload's ``graph`` field.
+
+        ``for_pool=False`` passes the in-process object straight through;
+        ``for_pool=True`` returns a :class:`ShmGraphRef` (publishing the
+        segment on first use — and dropping the parent's heap copy, whose
+        bytes now live in the segment) or, without shared memory, the
+        instance itself to be pickled into each sharing trial's payload.
+        """
+        if not for_pool or not self.use_shm:
+            return self.get(trial)
+        gkey = trial.graph_key()
+        seg = self._segments.get(gkey)
+        if seg is None:
+            gen = self.get(trial)
+            seg = gen.graph.to_shm()
+            self._segments[gkey] = seg
+            self._meta[gkey] = (gen.name, gen.arboricity_bound, dict(gen.params))
+            self.discard(gkey)  # the segment is the copy of record now
+        else:
+            self.reuses += 1
+        name, bound, params = self._meta[gkey]
+        return ShmGraphRef(
+            graph_key=gkey,
+            shm_name=seg.name,
+            name=name,
+            arboricity_bound=bound,
+            params=dict(params),
+        )
+
+    def discard(self, gkey: str) -> None:
+        """Drop the in-process copy of one graph (published segments stay).
+
+        The runner calls this once a graph's last pending trial has its
+        payload, so a long sweep holds only the shared graphs still ahead
+        of it instead of every unique graph it ever built.
+        """
+        self._graphs.pop(gkey, None)
+
+    def close(self) -> None:
+        """Release every published segment (close + unlink) and drop graphs."""
+        segments, self._segments = self._segments, {}
+        self._graphs.clear()
+        self._meta.clear()
+        for seg in segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # already reclaimed (double close)
+                pass
+
+    def __enter__(self) -> "GraphStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,21 +1,40 @@
 """Named registries of graph families and algorithm runners, plus the
-picklable trial entry point the parallel runner fans out.
+staged, picklable trial entry points the parallel runner fans out.
 
 Everything a worker process needs is resolved *by name* inside
 :func:`execute_trial`, so the only objects that cross the process boundary
-are plain dicts — trials go out as ``TrialSpec.to_dict()`` payloads and
-results come back as JSON-serialisable records.  That keeps the
-``multiprocessing`` plumbing trivial and the cache format identical to the
-wire format.
+are plain dicts plus (optionally) a shared-memory graph reference — trials
+go out as ``TrialSpec.to_dict()`` payloads and results come back as
+JSON-serialisable records.  That keeps the ``multiprocessing`` plumbing
+trivial and the cache format identical to the wire format.
 
-Algorithm runners verify their own output (via :mod:`repro.verify`) before
-reporting metrics, so a cached record is always a *checked* result.
+A trial is executed as four explicit **stages**, mirroring the staged
+structure of the paper's own pipeline (decompose once, consume many times):
+
+``build_graph``
+    materialise (or attach) the graph instance — skipped work when the
+    :class:`~repro.experiments.graphstore.GraphStore` already built it;
+``run_algorithm``
+    the algorithm proper, on a fresh :class:`~repro.SynchronousNetwork`;
+``verify``
+    the matching :mod:`repro.verify` checker — a cached record is always a
+    *checked* result;
+``metrics``
+    flatten the verified result into the JSON-serialisable metrics dict.
+
+Each stage's wall time is recorded in the result record under ``stages``,
+and ``provenance`` says where the graph came from (``built`` / ``store`` /
+``shm`` / ``pickled``) and which process ran the trial.  Both live *outside*
+``metrics``: metrics are deterministic functions of the trial spec and must
+be byte-identical across serial, parallel, shm, and no-shm execution.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Any, Callable, Dict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .. import SynchronousNetwork
 from ..core import (
@@ -131,10 +150,11 @@ def build_instance(trial: TrialSpec) -> GeneratedGraph:
 
 
 # ----------------------------------------------------------------------
-# algorithm registry: name -> runner(net, gen, seed, params) -> metrics
+# algorithm registry: name -> AlgorithmSpec(kind, run, extra_metrics)
 # ----------------------------------------------------------------------
-# Metrics are flat JSON-serialisable dicts.  Every runner verifies its output
-# with the matching repro.verify checker before returning.
+# ``run(net, gen, seed, params)`` returns the algorithm's own result object;
+# verification and metric extraction are separate stages dispatched on
+# ``kind`` (see _verify_result / _result_metrics below).
 
 
 def _bound(gen: GeneratedGraph, params: Dict[str, Any]) -> int:
@@ -143,156 +163,216 @@ def _bound(gen: GeneratedGraph, params: Dict[str, Any]) -> int:
     return int(params.get("a", gen.arboricity_bound))
 
 
-def _coloring_metrics(gen: GeneratedGraph, result) -> Dict[str, Any]:
-    check_legal_coloring(gen.graph, result.colors)
-    out: Dict[str, Any] = {
-        "kind": "coloring",
-        "colors": result.num_colors,
-        "rounds": result.rounds,
-        "verified": True,
-    }
-    for k in ("pre_reduction_colors", "final_color_space"):
-        if k in result.params:
-            out[k] = result.params[k]
-    return out
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registry entry: how to run, check, and report an algorithm.
+
+    ``kind`` selects the verifier and the metric layout (``coloring`` /
+    ``decomposition`` / ``mis``); ``extra_metrics`` names result params
+    lifted into the metrics dict when the result reports them (honoured
+    for every kind).
+    """
+
+    kind: str
+    run: Callable[..., Any]
+    extra_metrics: Tuple[str, ...] = ()
 
 
-def _alg_cor46(net, gen, seed, params):
+#: result params every coloring entry lifts into its metrics
+_COLORING_EXTRAS = ("pre_reduction_colors", "final_color_space")
+
+
+def _coloring(run: Callable[..., Any]) -> AlgorithmSpec:
+    return AlgorithmSpec("coloring", run, extra_metrics=_COLORING_EXTRAS)
+
+
+def _run_cor46(net, gen, seed, params):
+    return legal_coloring_corollary46(
+        net, _bound(gen, params), eta=float(params.get("eta", 0.5))
+    )
+
+
+def _run_thm43(net, gen, seed, params):
+    return legal_coloring_theorem43(
+        net, _bound(gen, params), mu=float(params.get("mu", 1.0))
+    )
+
+
+def _run_oneshot(net, gen, seed, params):
+    return oneshot_legal_coloring(net, _bound(gen, params))
+
+
+def _run_thm52(net, gen, seed, params):
     a = _bound(gen, params)
-    res = legal_coloring_corollary46(net, a, eta=float(params.get("eta", 0.5)))
-    return _coloring_metrics(gen, res)
+    return theorem52_fast_coloring(net, a, d=int(params.get("d", max(1, a // 2))))
 
 
-def _alg_thm43(net, gen, seed, params):
+def _run_thm53(net, gen, seed, params):
     a = _bound(gen, params)
-    res = legal_coloring_theorem43(net, a, mu=float(params.get("mu", 1.0)))
-    return _coloring_metrics(gen, res)
+    return theorem53_tradeoff(net, a, t=int(params.get("t", max(1, a // 4))))
 
 
-def _alg_oneshot(net, gen, seed, params):
-    res = oneshot_legal_coloring(net, _bound(gen, params))
-    return _coloring_metrics(gen, res)
+def _run_be08(net, gen, seed, params):
+    return be08_coloring(net, _bound(gen, params))
 
 
-def _alg_thm52(net, gen, seed, params):
-    a = _bound(gen, params)
-    res = theorem52_fast_coloring(net, a, d=int(params.get("d", max(1, a // 2))))
-    return _coloring_metrics(gen, res)
+def _run_linial(net, gen, seed, params):
+    return linial_coloring(net)
 
 
-def _alg_thm53(net, gen, seed, params):
-    a = _bound(gen, params)
-    res = theorem53_tradeoff(net, a, t=int(params.get("t", max(1, a // 4))))
-    return _coloring_metrics(gen, res)
+def _run_luby_coloring(net, gen, seed, params):
+    return luby_coloring(net, seed=seed)
 
 
-def _alg_be08(net, gen, seed, params):
-    res = be08_coloring(net, _bound(gen, params))
-    return _coloring_metrics(gen, res)
+def _run_delta_plus_one(net, gen, seed, params):
+    return delta_plus_one_via_arboricity(
+        net, _bound(gen, params), nu=float(params.get("nu", 0.5))
+    )
 
 
-def _alg_linial(net, gen, seed, params):
-    res = linial_coloring(net)
-    return _coloring_metrics(gen, res)
+def _run_forests(net, gen, seed, params):
+    return forests_decomposition(
+        net, _bound(gen, params), epsilon=float(params.get("epsilon", 0.5))
+    )
 
 
-def _alg_luby_coloring(net, gen, seed, params):
-    res = luby_coloring(net, seed=seed)
-    return _coloring_metrics(gen, res)
+def _run_mis_arboricity(net, gen, seed, params):
+    return mis_arboricity(net, _bound(gen, params), mu=float(params.get("mu", 0.5)))
 
 
-def _alg_delta_plus_one(net, gen, seed, params):
-    a = _bound(gen, params)
-    res = delta_plus_one_via_arboricity(net, a, nu=float(params.get("nu", 0.5)))
-    return _coloring_metrics(gen, res)
+def _run_luby_mis(net, gen, seed, params):
+    return luby_mis(net, seed=seed)
 
 
-def _alg_forests(net, gen, seed, params):
-    a = _bound(gen, params)
-    fd = forests_decomposition(net, a, epsilon=float(params.get("epsilon", 0.5)))
-    check_forests_decomposition(gen.graph, fd)
-    return {
-        "kind": "decomposition",
-        "num_forests": fd.num_forests,
-        "rounds": fd.rounds,
-        "verified": True,
-    }
-
-
-def _alg_mis_arboricity(net, gen, seed, params):
-    a = _bound(gen, params)
-    res = mis_arboricity(net, a, mu=float(params.get("mu", 0.5)))
-    check_mis(gen.graph, res.members)
-    out = {
-        "kind": "mis",
-        "mis_size": res.size,
-        "rounds": res.rounds,
-        "verified": True,
-    }
-    for k in ("num_colors", "coloring_rounds", "sweep_rounds"):
-        if k in res.params:
-            out[k] = res.params[k]
-    return out
-
-
-def _alg_luby_mis(net, gen, seed, params):
-    res = luby_mis(net, seed=seed)
-    check_mis(gen.graph, res.members)
-    return {
-        "kind": "mis",
-        "mis_size": res.size,
-        "rounds": res.rounds,
-        "verified": True,
-    }
-
-
-ALGORITHMS: Dict[str, Callable[..., Dict[str, Any]]] = {
-    "cor46": _alg_cor46,
-    "thm43": _alg_thm43,
-    "oneshot": _alg_oneshot,
-    "thm52": _alg_thm52,
-    "thm53": _alg_thm53,
-    "be08": _alg_be08,
-    "linial": _alg_linial,
-    "luby_coloring": _alg_luby_coloring,
-    "delta_plus_one": _alg_delta_plus_one,
-    "forests": _alg_forests,
-    "mis_arboricity": _alg_mis_arboricity,
-    "luby_mis": _alg_luby_mis,
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    "cor46": _coloring(_run_cor46),
+    "thm43": _coloring(_run_thm43),
+    "oneshot": _coloring(_run_oneshot),
+    "thm52": _coloring(_run_thm52),
+    "thm53": _coloring(_run_thm53),
+    "be08": _coloring(_run_be08),
+    "linial": _coloring(_run_linial),
+    "luby_coloring": _coloring(_run_luby_coloring),
+    "delta_plus_one": _coloring(_run_delta_plus_one),
+    "forests": AlgorithmSpec("decomposition", _run_forests),
+    "mis_arboricity": AlgorithmSpec(
+        "mis", _run_mis_arboricity,
+        extra_metrics=("num_colors", "coloring_rounds", "sweep_rounds"),
+    ),
+    "luby_mis": AlgorithmSpec("mis", _run_luby_mis),
 }
 
 
-# ----------------------------------------------------------------------
-# trial entry point (top-level, hence picklable by multiprocessing)
-# ----------------------------------------------------------------------
-def execute_trial(trial_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one trial from its dict encoding and return its cacheable record.
+def _verify_result(kind: str, graph, result) -> None:
+    """The ``verify`` stage: run the matching checker (raises on failure)."""
+    if kind == "coloring":
+        check_legal_coloring(graph, result.colors)
+    elif kind == "decomposition":
+        check_forests_decomposition(graph, result)
+    elif kind == "mis":
+        check_mis(graph, result.members)
+    else:  # pragma: no cover - registry invariant
+        raise InvalidParameterError(f"unknown algorithm kind {kind!r}")
 
-    The record is ``{"key", "trial", "metrics", "elapsed_s"}``; ``metrics``
-    always includes the instance's size statistics so aggregation never has
-    to rebuild the graph.  ``elapsed_s`` is kept outside ``metrics`` because
-    wall time is machine-dependent and must not affect aggregate reports.
+
+def _result_metrics(
+    spec: AlgorithmSpec, gen: GeneratedGraph, result
+) -> Dict[str, Any]:
+    """The ``metrics`` stage: flatten a verified result into a JSON dict."""
+    out: Dict[str, Any] = {"kind": spec.kind}
+    if spec.kind == "coloring":
+        out["colors"] = result.num_colors
+    elif spec.kind == "decomposition":
+        out["num_forests"] = result.num_forests
+    else:  # mis
+        out["mis_size"] = result.size
+    out["rounds"] = result.rounds
+    out["verified"] = True
+    params = getattr(result, "params", {})
+    for k in spec.extra_metrics:
+        if k in params:
+            out[k] = params[k]
+    out.setdefault("n", gen.n)
+    out.setdefault("m", gen.m)
+    out.setdefault("max_degree", gen.max_degree)
+    out.setdefault("arboricity_bound", gen.arboricity_bound)
+    return out
+
+
+# ----------------------------------------------------------------------
+# trial entry points (top-level, hence picklable by multiprocessing)
+# ----------------------------------------------------------------------
+#: stage names, in execution order, as they appear in records
+STAGES = ("build_graph", "run_algorithm", "verify", "metrics")
+
+
+def execute_trial(
+    trial_dict: Dict[str, Any],
+    gen: Optional[GeneratedGraph] = None,
+    graph_source: str = "built",
+) -> Dict[str, Any]:
+    """Run one trial's four stages and return its cacheable record.
+
+    The record is ``{"key", "trial", "metrics", "elapsed_s", "stages",
+    "provenance"}``; ``metrics`` always includes the instance's size
+    statistics so aggregation never has to rebuild the graph.  Wall times
+    (``elapsed_s``, the per-stage ``stages`` dict) and ``provenance`` are
+    kept outside ``metrics`` because they are machine- and transport-
+    dependent and must not affect aggregate reports.
+
+    When ``gen`` is given the ``build_graph`` stage only accounts the
+    attach/hand-off (the :class:`~.graphstore.GraphStore` already built the
+    instance) and ``graph_source`` records where it came from.
     """
     trial = TrialSpec.from_dict(trial_dict)
-    if trial.algorithm not in ALGORITHMS:
+    spec = ALGORITHMS.get(trial.algorithm)
+    if spec is None:
         raise InvalidParameterError(
             f"unknown algorithm {trial.algorithm!r}; known: {sorted(ALGORITHMS)}"
         )
-    gen = build_instance(trial)
+    stages: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    if gen is None:
+        gen = build_instance(trial)
+        graph_source = "built"
     net = SynchronousNetwork(gen.graph)
+    stages["build_graph"] = time.perf_counter() - t0
     # Algorithm randomness is decorrelated from the structural seed so that
     # e.g. Luby's coin flips are not the same stream that wired the graph.
     alg_seed = derive_seed(trial.key(), "alg")
-    start = time.perf_counter()
-    metrics = ALGORITHMS[trial.algorithm](net, gen, alg_seed, dict(trial.algorithm_params))
-    elapsed = time.perf_counter() - start
-    metrics.setdefault("n", gen.n)
-    metrics.setdefault("m", gen.m)
-    metrics.setdefault("max_degree", gen.max_degree)
-    metrics.setdefault("arboricity_bound", gen.arboricity_bound)
+    t0 = time.perf_counter()
+    result = spec.run(net, gen, alg_seed, dict(trial.algorithm_params))
+    stages["run_algorithm"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _verify_result(spec.kind, gen.graph, result)
+    stages["verify"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    metrics = _result_metrics(spec, gen, result)
+    stages["metrics"] = time.perf_counter() - t0
+    # elapsed_s is the sum of the *recorded* (rounded) stage times, so the
+    # two fields in a record are always exactly consistent
+    recorded = {name: round(stages[name], 6) for name in STAGES}
     return {
         "key": trial.key(),
         "trial": trial.to_dict(),
         "metrics": metrics,
-        "elapsed_s": elapsed,
+        "elapsed_s": round(sum(recorded.values()), 6),
+        "stages": recorded,
+        "provenance": {"graph_source": graph_source, "pid": os.getpid()},
     }
+
+
+def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point: a trial dict plus an optional pre-built graph.
+
+    ``payload["graph"]`` is ``None`` (build here), a
+    :class:`~.graphstore.ShmGraphRef` (attach zero-copy), or a pickled
+    :class:`~repro.graphs.generators.GeneratedGraph` (the no-shm fallback).
+    """
+    from .graphstore import resolve_graph
+
+    gen, source = resolve_graph(payload.get("graph"))
+    # serial runs hand the object over in-process; the payload says so
+    # (resolve_graph alone cannot tell an unpickled copy from the original)
+    source = payload.get("graph_source", source)
+    return execute_trial(payload["trial"], gen=gen, graph_source=source)

@@ -1,20 +1,32 @@
-"""The parallel sweep runner: cache lookup, fan-out, collection.
+"""The staged sweep runner: cache probe, shared graph builds, streaming
+fan-out, streaming persistence.
 
 Execution plan for one sweep:
 
 1. expand the :class:`~repro.experiments.spec.SweepSpec` into trials;
 2. probe the :class:`~repro.experiments.cache.ResultCache` for each trial's
    content key — hits are served instantly;
-3. fan the remaining trials out over a ``multiprocessing`` pool (the trial
-   entry point :func:`repro.experiments.registry.execute_trial` takes and
-   returns plain dicts, so pickling is trivial);
-4. persist every fresh record from the parent process (single writer — the
-   workers never touch the cache) and return everything in spec order.
+3. build every *shared* graph instance once in the parent via the
+   :class:`~repro.experiments.graphstore.GraphStore` (trials of an ablation
+   sweep that vary only algorithm parameters share one build) and publish
+   the builds to the workers — zero-copy over ``multiprocessing.shared_memory``
+   when available, pickled into the payload otherwise; graphs only one
+   trial uses are built by the worker running that trial, so unshared
+   construction keeps the pool's parallelism;
+4. fan the remaining trials out over one persistent ``multiprocessing``
+   pool with ``imap_unordered``, so results stream back as they complete
+   instead of arriving in one blocking batch;
+5. persist every fresh record **as it arrives** (single writer — the
+   parent; the workers never touch the cache), so a crashed or interrupted
+   sweep resumes from every trial that finished, and return everything in
+   spec order.
 
 Determinism: trial seeds are fixed by the spec, algorithm randomness is
-derived from the trial key, and results are reordered to spec order after
-the unordered parallel collection — so a sweep's aggregate output is
-byte-identical whether it ran serial, parallel, or entirely from cache.
+derived from the trial key, the shared graph a worker attaches is
+byte-identical to the one a rebuild would produce, and results are
+reordered to spec order after the unordered parallel collection — so a
+sweep's aggregate output is byte-identical whether it ran serial, parallel,
+via shared memory, via the pickle fallback, or entirely from cache.
 """
 
 from __future__ import annotations
@@ -25,11 +37,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..errors import InvalidParameterError
 from .cache import ResultCache
-from .registry import execute_trial
+from .graphstore import GraphStore
+from .registry import execute_payload
 from .spec import SweepSpec, TrialSpec
 
 __all__ = ["TrialResult", "SweepResult", "run_sweep", "default_workers"]
+
+#: environment override for the default worker cap (see default_workers)
+WORKERS_ENV = "REPRO_WORKERS"
 
 
 @dataclass
@@ -40,6 +57,12 @@ class TrialResult:
     metrics: Dict[str, object]
     cached: bool
     elapsed_s: float = 0.0
+    #: per-stage wall times (build_graph/run_algorithm/verify/metrics);
+    #: empty for records written before the staged engine
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: where the graph came from: built (by the executor) / store (handed
+    #: over in-process) / shm / pickled / "" (pre-staged record)
+    graph_source: str = ""
 
     @property
     def key(self) -> str:
@@ -48,13 +71,17 @@ class TrialResult:
 
 @dataclass
 class SweepResult:
-    """All trial results of a sweep plus cache accounting."""
+    """All trial results of a sweep plus cache and build accounting."""
 
     name: str
     results: List[TrialResult] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     wall_s: float = 0.0
+    #: unique graphs built by the GraphStore for this run
+    graph_builds: int = 0
+    #: trials that reused a graph another trial already built
+    graph_reuses: int = 0
 
     @property
     def num_trials(self) -> int:
@@ -76,8 +103,26 @@ class SweepResult:
 
 
 def default_workers() -> int:
-    """Worker count when the caller does not pin one: all cores, capped."""
-    return max(1, min(os.cpu_count() or 1, 8))
+    """Worker count when the caller does not pin one: all cores, capped.
+
+    The cap defaults to 8 and is overridable via ``REPRO_WORKERS`` (useful
+    on many-core machines where the sweep should use more of the box, or in
+    CI where it should use less).
+    """
+    cap = 8
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            cap = int(env)
+        except ValueError:
+            raise InvalidParameterError(
+                f"{WORKERS_ENV} must be an integer >= 1, got {env!r}"
+            ) from None
+        if cap < 1:
+            raise InvalidParameterError(
+                f"{WORKERS_ENV} must be an integer >= 1, got {env!r}"
+            )
+    return max(1, min(os.cpu_count() or 1, cap))
 
 
 def run_sweep(
@@ -85,6 +130,8 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    use_shm: Optional[bool] = None,
+    share_graphs: bool = True,
 ) -> SweepResult:
     """Run every trial of ``spec``, reusing ``cache`` when given.
 
@@ -92,12 +139,26 @@ def run_sweep(
     ----------
     workers:
         Pool size for cache misses.  ``1`` runs in-process (no pool at
-        all — the mode tests and benchmarks use); ``n > 1`` uses a
-        ``multiprocessing.Pool``.
+        all — the mode tests and benchmarks use); ``n > 1`` streams trials
+        through one persistent ``multiprocessing.Pool``.  Anything below 1
+        is an error — never a silent fall-through to serial.
     progress:
         Optional callback receiving one human-readable line per event
         (used by the CLI for ``-v``-style output).
+    use_shm:
+        Force shared-memory graph publishing on (``True``) or off
+        (``False`` — the pickle fallback); default auto-detects and honours
+        ``REPRO_NO_SHM``.  Irrelevant for serial runs, which hand the graph
+        object straight to the executor.
+    share_graphs:
+        ``False`` disables the GraphStore entirely: every trial rebuilds
+        its graph from the family registry, like the pre-staged engine.
+        Kept as the comparison baseline for ``bench_sweep_scale``.
     """
+    if not isinstance(workers, int) or workers < 1:
+        raise InvalidParameterError(
+            f"run_sweep: workers must be an integer >= 1, got {workers!r}"
+        )
     t0 = time.perf_counter()
     trials = spec.trials()
     say = progress or (lambda _msg: None)
@@ -116,19 +177,83 @@ def run_sweep(
             pending.append(trial)
             pending_keys.add(key)
 
+    graph_builds = 0
+    graph_reuses = 0
     if pending:
         say(f"{spec.name}: computing {len(pending)} trial(s), "
             f"{len(cached_keys)} cached")
-        payloads = [t.to_dict() for t in pending]
-        if workers > 1 and len(pending) > 1:
-            with multiprocessing.Pool(min(workers, len(pending))) as pool:
-                fresh = pool.map(execute_trial, payloads, chunksize=1)
-        else:
-            fresh = [execute_trial(p) for p in payloads]
-        for rec in fresh:
-            records[rec["key"]] = rec
-            if cache is not None:
-                cache.put(rec)
+        pool_mode = workers > 1 and len(pending) > 1
+        store = GraphStore(use_shm=use_shm) if share_graphs else None
+        # In pool mode only graphs that more than one trial consumes are
+        # worth pre-building in the parent (that is the sharing win); a
+        # single-use graph is built by the worker running its trial, so
+        # unshared builds stay as parallel as the trials themselves.
+        # (Shared graphs are still built sequentially in the parent before
+        # dispatch — with many distinct shared graphs and a large pool,
+        # ``share_graphs=False`` can win; overlapping shared builds with
+        # execution is an open item.)
+        remaining: Dict[str, int] = {}
+        if store is not None:
+            for t in pending:
+                gkey = t.graph_key()
+                remaining[gkey] = remaining.get(gkey, 0) + 1
+        shared_keys = {k for k, c in remaining.items() if c > 1}
+
+        def make_payload(t: TrialSpec) -> dict:
+            """Build one trial's payload, evicting graphs no trial still
+            ahead of this one needs (long sweeps hold only their future)."""
+            gkey = t.graph_key()
+            if store is None or (pool_mode and gkey not in shared_keys):
+                graph = None
+            else:
+                graph = store.payload_graph(t, for_pool=pool_mode)
+            payload = {"trial": t.to_dict(), "graph": graph}
+            if store is not None and not pool_mode and graph is not None:
+                payload["graph_source"] = "store"
+            if store is not None:
+                remaining[gkey] -= 1
+                if remaining[gkey] == 0:
+                    store.discard(gkey)
+            return payload
+
+        try:
+            done = 0
+
+            def absorb(rec: dict) -> None:
+                nonlocal done
+                records[rec["key"]] = rec
+                # streaming persistence: one atomic append per completed
+                # trial, so an interrupted sweep keeps everything finished
+                if cache is not None:
+                    cache.put(rec)
+                done += 1
+                if progress is not None:  # label/format only when watched
+                    progress(f"{spec.name}: [{done}/{len(pending)}] "
+                             f"{TrialSpec.from_dict(rec['trial']).label()} "
+                             f"({rec['elapsed_s']:.2f}s)")
+
+            if pool_mode:
+                payloads = [make_payload(t) for t in pending]
+                if store is not None:
+                    transport = " via shared memory" if store.use_shm else ""
+                    say(f"{spec.name}: {store.builds} shared graph(s) "
+                        f"built, {store.reuses} reuse(s){transport}")
+                with multiprocessing.Pool(min(workers, len(pending))) as pool:
+                    for rec in pool.imap_unordered(
+                        execute_payload, payloads, chunksize=1
+                    ):
+                        absorb(rec)
+            else:
+                # serial: payloads are made one at a time, so at most the
+                # shared graphs still ahead of the sweep are alive at once
+                for t in pending:
+                    absorb(execute_payload(make_payload(t)))
+            if store is not None:
+                graph_builds = store.builds
+                graph_reuses = store.reuses
+        finally:
+            if store is not None:
+                store.close()
     else:
         say(f"{spec.name}: all {len(trials)} trial(s) served from cache")
 
@@ -141,6 +266,10 @@ def run_sweep(
                 metrics=dict(rec["metrics"]),
                 cached=trial.key() in cached_keys,
                 elapsed_s=float(rec.get("elapsed_s", 0.0)),
+                stages=dict(rec.get("stages", {})),
+                graph_source=str(
+                    rec.get("provenance", {}).get("graph_source", "")
+                ),
             )
         )
     # Hit/miss accounting is per unique key: a duplicated trial is computed
@@ -152,4 +281,6 @@ def run_sweep(
         cache_hits=len(cached_keys),
         cache_misses=len(pending),
         wall_s=time.perf_counter() - t0,
+        graph_builds=graph_builds,
+        graph_reuses=graph_reuses,
     )

@@ -90,6 +90,25 @@ class TrialSpec:
         payload = canonical_json({"v": SPEC_VERSION, "trial": self.to_dict()})
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def graph_key(self) -> str:
+        """Content-addressed key of the trial's graph *instance*.
+
+        Covers exactly the inputs the family builder sees — ``(family,
+        family_params, seed)`` — and nothing algorithm-side, so every trial
+        of an ablation sweep that varies only algorithm parameters maps to
+        the same graph key.  This is what
+        :class:`repro.experiments.graphstore.GraphStore` dedups builds by.
+        """
+        payload = canonical_json(
+            {
+                "v": SPEC_VERSION,
+                "family": self.family,
+                "family_params": dict(self.family_params),
+                "seed": self.seed,
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def label(self) -> str:
         """Short human-readable identifier for tables and logs."""
         fp = ",".join(f"{k}={v}" for k, v in sorted(self.family_params.items()))

@@ -216,6 +216,7 @@ class Graph:
         "_edges_cache",
         "_nbr_tuples",
         "_maxdeg",
+        "_shm",
         "duplicate_edges_dropped",
     )
 
@@ -278,6 +279,7 @@ class Graph:
         self._edges_cache = None
         self._nbr_tuples = None
         self._maxdeg = None
+        self._shm = None
         self.duplicate_edges_dropped = dropped
 
     @classmethod
@@ -484,18 +486,128 @@ class Graph:
     # pickling (memoryviews are not picklable; drop derived caches)
     # ------------------------------------------------------------------
     def __getstate__(self):
+        # a shared-memory-attached graph stores its CSR rows as memoryviews
+        # into the segment; pickling materialises them so the unpickled copy
+        # owns its arrays and outlives the segment
+        offsets = self._offsets
+        nbr = self._nbr
+        if not isinstance(offsets, array):
+            offsets = array("q", offsets)
+        if not isinstance(nbr, array):
+            nbr = array("q", nbr)
         return (
             self._n,
             self._contig,
             self._verts,
-            self._offsets,
-            self._nbr,
+            offsets,
+            nbr,
             self.duplicate_edges_dropped,
         )
 
     def __setstate__(self, state):
         n, contig, verts, offsets, nbr, dropped = state
         self._init_csr(n, contig, verts, offsets, nbr, dropped)
+
+    # ------------------------------------------------------------------
+    # shared-memory interchange (zero-copy sharing across processes)
+    # ------------------------------------------------------------------
+    # Segment layout, all int64 words:
+    #   [magic, n, contig, len(nbr), duplicate_edges_dropped, len(verts)]
+    #   offsets[n + 1]  nbr[len(nbr)]  verts[len(verts)]
+    # ``verts`` is present only for non-contiguous-id graphs.
+
+    _SHM_MAGIC = 0x43535247  # "CSRG"
+    _SHM_HEADER_WORDS = 6
+
+    def to_shm(self, name: Optional[str] = None):
+        """Copy the CSR arrays into a new shared-memory segment.
+
+        Returns the created ``multiprocessing.shared_memory.SharedMemory``;
+        the caller owns its lifetime (``close()`` + ``unlink()`` when every
+        attached reader is done — typically via
+        :class:`repro.experiments.graphstore.GraphStore`).  Other processes
+        attach with :meth:`from_shm` under the segment's ``.name``.
+        """
+        from multiprocessing import shared_memory
+
+        verts = () if self._contig else self._verts
+        header = array(
+            "q",
+            [
+                self._SHM_MAGIC,
+                self._n,
+                1 if self._contig else 0,
+                len(self._nbr),
+                self.duplicate_edges_dropped,
+                len(verts),
+            ],
+        )
+        payload = (
+            header.tobytes()
+            + self._offsets.tobytes()
+            + self._nbr.tobytes()
+            + array("q", verts).tobytes()
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=len(payload), name=name
+        )
+        try:
+            shm.buf[: len(payload)] = payload
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return shm
+
+    @classmethod
+    def from_shm(cls, name: str) -> "Graph":
+        """Attach to a segment written by :meth:`to_shm` — zero-copy.
+
+        The returned graph's CSR rows are read-only views straight into the
+        shared segment (no copy is made); it keeps the attachment open for
+        its own lifetime, so the creator's ``unlink()`` only reclaims the
+        memory once every attached graph is garbage. Pickling an attached
+        graph (or any operation that derives a new graph) materialises
+        process-local arrays, so nothing escapes the segment's lifetime.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            words = memoryview(shm.buf).cast("q").toreadonly()
+        except TypeError:  # segment size is not a multiple of 8 bytes
+            shm.close()
+            raise InvalidParameterError(
+                f"shared-memory segment {name!r} is not a Graph segment"
+            ) from None
+        if (
+            len(words) < cls._SHM_HEADER_WORDS
+            or words[0] != cls._SHM_MAGIC
+        ):
+            words.release()
+            shm.close()
+            raise InvalidParameterError(
+                f"shared-memory segment {name!r} is not a Graph segment"
+            )
+        _magic, n, contig, n_nbr, dropped, n_verts = words[
+            : cls._SHM_HEADER_WORDS
+        ]
+        base = cls._SHM_HEADER_WORDS
+        offsets = words[base : base + n + 1]
+        nbr = words[base + n + 1 : base + n + 1 + n_nbr]
+        verts = None
+        if not contig:
+            vbase = base + n + 1 + n_nbr
+            verts = tuple(words[vbase : vbase + n_verts])
+        g = cls.__new__(cls)
+        g._init_csr(int(n), bool(contig), verts, offsets, nbr, int(dropped))
+        g._shm = shm  # keeps the attachment alive as long as the graph
+        return g
+
+    @property
+    def shm_backed(self) -> bool:
+        """True when this graph's CSR arrays live in a shared segment."""
+        return self._shm is not None
 
     # ------------------------------------------------------------------
     # derived graphs
@@ -578,6 +690,9 @@ class Graph:
             self._nbr,
             self.duplicate_edges_dropped,
         )
+        # the copy shares this graph's rows structurally; if they live in a
+        # shared segment it must co-own the attachment to keep them mapped
+        g._shm = self._shm
         return g, mapping
 
     # ------------------------------------------------------------------

@@ -1,24 +1,32 @@
-"""The sweep engine: specs, content-addressed cache, runner, aggregation,
-and the ``repro sweep`` CLI surface."""
+"""The sweep engine: specs, content-addressed cache, staged runner,
+aggregation, and the ``repro sweep`` CLI surface."""
 
 import json
 import os
+import subprocess
+import sys
+import time
 
 import pytest
 
 from repro.cli import main
 from repro.errors import InvalidParameterError
 from repro.experiments import (
+    ALGORITHMS,
+    STAGES,
+    AlgorithmSpec,
     ResultCache,
     ScenarioSpec,
     SweepSpec,
     TrialSpec,
+    default_workers,
     derive_seed,
     execute_trial,
     grid_scenarios,
     percentile,
     report_table,
     run_sweep,
+    stage_timing_table,
     summarize,
 )
 
@@ -116,6 +124,27 @@ class TestExecuteTrial:
         a = execute_trial(t.to_dict())["metrics"]
         b = execute_trial(t.to_dict())["metrics"]
         assert a == b
+
+    def test_record_carries_stage_timings_and_provenance(self):
+        t = TrialSpec(family="tree", algorithm="forests", seed=2,
+                      family_params={"n": 40})
+        rec = execute_trial(t.to_dict())
+        assert tuple(rec["stages"]) == STAGES  # all four, in order
+        assert all(v >= 0.0 for v in rec["stages"].values())
+        assert rec["elapsed_s"] == pytest.approx(
+            sum(rec["stages"].values()), abs=1e-6
+        )
+        assert rec["provenance"]["graph_source"] == "built"
+        assert rec["provenance"]["pid"] == os.getpid()
+        json.dumps(rec)  # stages/provenance must stay cacheable
+
+    def test_wall_times_never_leak_into_metrics(self):
+        t = TrialSpec(family="tree", algorithm="cor46", seed=0,
+                      family_params={"n": 30})
+        rec = execute_trial(t.to_dict())
+        assert "stages" not in rec["metrics"]
+        assert "elapsed_s" not in rec["metrics"]
+        assert "provenance" not in rec["metrics"]
 
 
 class TestCache:
@@ -263,6 +292,115 @@ class TestRunner:
         assert full.cache_hits == len(half.trials())
         assert full.cache_misses == full.num_trials - len(half.trials())
 
+    def test_workers_below_one_is_an_error(self):
+        for bad in (0, -3):
+            with pytest.raises(InvalidParameterError, match="workers"):
+                run_sweep(tiny_spec(num_seeds=1), workers=bad)
+        with pytest.raises(InvalidParameterError, match="workers"):
+            run_sweep(tiny_spec(num_seeds=1), workers=2.0)
+
+
+class TestDefaultWorkers:
+    def test_default_cap_is_eight(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == max(1, min(os.cpu_count() or 1, 8))
+
+    def test_env_overrides_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert default_workers() == max(1, min(os.cpu_count() or 1, 2))
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "999")
+        assert default_workers() == max(1, min(os.cpu_count() or 1, 999))
+
+    def test_invalid_env_is_a_clear_error(self, monkeypatch):
+        for bad in ("zero", "0", "-4", "2.5"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            with pytest.raises(InvalidParameterError, match="REPRO_WORKERS"):
+                default_workers()
+
+
+class TestStreamingPersistence:
+    """Fresh records land in the cache as each trial completes, so a sweep
+    that dies mid-run resumes from every finished trial."""
+
+    def test_crash_mid_sweep_keeps_finished_trials(self, tmp_path, monkeypatch):
+        calls = {"n": 0}
+
+        def _boom(net, gen, seed, params):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise RuntimeError("injected crash")
+            return ALGORITHMS["cor46"].run(net, gen, seed, params)
+
+        monkeypatch.setitem(
+            ALGORITHMS, "flaky", AlgorithmSpec("coloring", _boom)
+        )
+        spec = SweepSpec(
+            "crashy",
+            [ScenarioSpec(family="tree", algorithm="flaky",
+                          family_params={"n": 30}, seeds=[0, 1, 2, 3])],
+        )
+        cache_dir = str(tmp_path / "cache")
+        with pytest.raises(RuntimeError, match="injected crash"):
+            run_sweep(spec, cache=ResultCache(cache_dir))
+        # the two completed trials were persisted before the crash...
+        assert len(ResultCache(cache_dir)) == 2
+
+        # ...and the retry serves them from cache, computing only the rest
+        calls["n"] = -10_000  # stay on the happy path this time
+        again = run_sweep(spec, cache=ResultCache(cache_dir))
+        assert again.cache_hits == 2
+        assert again.cache_misses == 2
+        assert all(tr.metrics["verified"] for tr in again)
+
+    def test_kill_mid_sweep_resumes_from_disk(self, tmp_path):
+        """The real thing: SIGKILL a sweep process, then resume.
+
+        Streaming writes mean whatever finished before the kill is on disk
+        (each record is one atomic append); the rerun must serve exactly
+        those trials from cache and compute only the remainder.
+        """
+        cache_dir = str(tmp_path / "cache")
+        args = ["sweep", "--n", "150", "--seeds", "2", "--workers", "2",
+                "--cache-dir", cache_dir]
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+            filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
+                          os.environ.get("PYTHONPATH", "")])
+        ))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            cache = ResultCache(cache_dir)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if cache.refresh() >= 1 or proc.poll() is not None:
+                    break
+                time.sleep(0.005)
+            else:
+                pytest.fail("no record appeared within 60s")
+        finally:
+            proc.kill()
+            proc.wait()
+        survived = ResultCache(cache_dir).refresh()
+        assert survived >= 1  # streaming writes: something finished, it's there
+
+        # resume the very same spec against the survivors: everything that
+        # finished before the kill is a hit, only the remainder recomputes
+        from repro.cli import _default_sweep_spec
+
+        spec = _default_sweep_spec(150, 2)
+        unique = len({t.key() for t in spec.trials()})
+        resumed = run_sweep(spec, cache=ResultCache(cache_dir))
+        assert resumed.cache_hits >= survived
+        assert resumed.cache_hits + resumed.cache_misses == unique
+        assert len(ResultCache(cache_dir)) == unique
+        assert all(tr.metrics["verified"] for tr in resumed)
+
 
 class TestAggregate:
     def test_percentile_interpolation(self):
@@ -298,6 +436,27 @@ class TestAggregate:
         assert "|MIS| p50" in table
         assert "4 trials" in table
 
+    def test_stage_timing_table_means_and_untimed_records(self):
+        res = run_sweep(tiny_spec(num_seeds=1))
+        table = stage_timing_table(res)
+        for header in ("build_graph ms", "run_algorithm ms", "verify ms",
+                       "metrics ms", "total ms"):
+            assert header in table
+        # a record written before the staged engine has no stage timings;
+        # the group renders but contributes no means
+        from repro.experiments import SweepResult, TrialResult
+
+        legacy = SweepResult(
+            name="legacy",
+            results=[TrialResult(
+                trial=TrialSpec(family="tree", algorithm="cor46", seed=0),
+                metrics={"rounds": 3}, cached=True,
+            )],
+        )
+        table = stage_timing_table(legacy)
+        assert "| 0     |" in table  # timed column
+        assert "-" in table
+
 
 class TestSweepCLI:
     def _run(self, capsys, *extra):
@@ -312,12 +471,12 @@ class TestSweepCLI:
         assert "0 hit(s)" in out1
         out2 = self._run(capsys, "--cache-dir", cache, "--report")
         assert "(100% hit rate)" in out2
-        # identical aggregate table, modulo the wall-time summary line
-        table1 = [ln for ln in out1.splitlines() if not ln.startswith("sweep:")
-                  and "trial(s)" not in ln]
-        table2 = [ln for ln in out2.splitlines() if not ln.startswith("sweep:")
-                  and "trial(s)" not in ln]
-        assert table1 == table2
+        # identical aggregate table, modulo the streaming progress lines
+        # (prefixed by the spec name) and the wall-time summary line
+        def table_lines(out):
+            return [ln for ln in out.splitlines()
+                    if not ln.startswith(("sweep:", "builtin-demo:"))]
+        assert table_lines(out1) == table_lines(out2)
 
     def test_sweep_no_cache(self, tmp_path, capsys):
         out = self._run(capsys, "--no-cache")
@@ -328,6 +487,22 @@ class TestSweepCLI:
         spec_path.write_text(tiny_spec(n=30, num_seeds=1).to_json())
         out = self._run(capsys, "--spec", str(spec_path), "--no-cache")
         assert "tiny" in out
+
+    def test_sweep_stage_timings_table(self, capsys):
+        out = self._run(capsys, "--no-cache", "--stage-timings")
+        assert "stage timings — builtin-demo" in out
+        for stage in ("build_graph ms", "run_algorithm ms", "verify ms",
+                      "metrics ms"):
+            assert stage in out
+
+    def test_sweep_rejects_bad_workers(self, capsys):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["sweep", "--n", "30", "--seeds", "1", "--no-cache",
+                  "--workers", "0"])
+
+    def test_sweep_no_shm_flag(self, tmp_path, capsys):
+        out = self._run(capsys, "--no-cache", "--workers", "2", "--no-shm")
+        assert "via shared memory" not in out
 
 
 @pytest.mark.slow

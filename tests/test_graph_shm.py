@@ -1,0 +1,197 @@
+"""Graph shared-memory interchange: ``to_shm``/``from_shm`` round trips,
+segment lifecycle, and the GraphStore publish/attach/fallback paths."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import GraphStore, ShmGraphRef, shm_available
+from repro.experiments.graphstore import resolve_graph
+from repro.experiments.spec import TrialSpec
+from repro.graphs import (
+    erdos_renyi,
+    forest_union,
+    grid,
+    hypercube,
+    planar_triangulation,
+    random_geometric,
+    random_tree,
+    ring,
+)
+from repro.graphs.graph import Graph
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+#: generator family -> builder(n, seed), exercised by the round-trip tests
+_BUILDERS = {
+    "forest_union": lambda n, seed: forest_union(n, 3, seed=seed),
+    "planar": lambda n, seed: planar_triangulation(n, seed=seed),
+    "tree": lambda n, seed: random_tree(n, seed=seed),
+    "ring": lambda n, seed: ring(n),
+    "grid": lambda n, seed: grid(max(2, n // 8), 8),
+    "hypercube": lambda n, seed: hypercube(max(2, (n - 1).bit_length())),
+    "erdos_renyi": lambda n, seed: erdos_renyi(n, 0.05, seed=seed),
+    "random_geometric": lambda n, seed: random_geometric(n, 0.15, seed=seed),
+}
+
+
+def _assert_byte_identical(a: Graph, b: Graph) -> None:
+    """The CSR arrays, ids, and derived views of two graphs match exactly."""
+    assert a == b
+    assert a.vertices == b.vertices
+    assert a.edges == b.edges
+    assert bytes(a.csr()[0]) == bytes(b.csr()[0])
+    assert bytes(a.csr()[1]) == bytes(b.csr()[1])
+    assert a.duplicate_edges_dropped == b.duplicate_edges_dropped
+    assert a.max_degree == b.max_degree
+
+
+def _round_trip(g: Graph) -> None:
+    shm = g.to_shm()
+    try:
+        attached = Graph.from_shm(shm.name)
+        assert attached.shm_backed and not g.shm_backed
+        _assert_byte_identical(g, attached)
+        del attached
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+class TestRoundTrip:
+    @settings(max_examples=24, deadline=None)
+    @given(
+        family=st.sampled_from(sorted(_BUILDERS)),
+        n=st.integers(min_value=8, max_value=96),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_families_round_trip_byte_identical(self, family, n, seed):
+        _round_trip(_BUILDERS[family](n, seed).graph)
+
+    def test_empty_and_edgeless_graphs(self):
+        _round_trip(Graph.empty(0))
+        _round_trip(Graph.empty(17))
+
+    def test_non_contiguous_ids_round_trip(self):
+        g = forest_union(60, 3, seed=1).graph
+        sub = g.induced_subgraph([3, 5, 9, 10, 41, 42, 57])
+        assert not sub.ids_contiguous
+        _round_trip(sub)
+
+    def test_attached_graph_supports_hot_paths(self):
+        gen = forest_union(120, 3, seed=2)
+        shm = gen.graph.to_shm()
+        try:
+            h = Graph.from_shm(shm.name)
+            # id API, index API, and derived-graph paths all work on views
+            assert h.neighbors(5) == gen.graph.neighbors(5)
+            assert h.degree(5) == gen.graph.degree(5)
+            assert list(h.neighbors_index(7)) == list(
+                gen.graph.neighbors_index(7)
+            )
+            assert h.induced_subgraph(range(40)) == gen.graph.induced_subgraph(
+                range(40)
+            )
+            rel, _ = h.relabeled()
+            assert rel.n == h.n
+            del h, rel
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_pickling_attached_graph_materialises(self):
+        g = planar_triangulation(50, seed=0).graph
+        shm = g.to_shm()
+        try:
+            h = Graph.from_shm(shm.name)
+            copy = pickle.loads(pickle.dumps(h))
+            del h
+        finally:
+            shm.close()
+            shm.unlink()
+        # the copy owns its arrays: fully usable after the segment is gone
+        assert not copy.shm_backed
+        _assert_byte_identical(g, copy)
+
+
+class TestLifecycle:
+    def test_segment_cleanup_on_close_unlink(self):
+        g = forest_union(40, 2, seed=0).graph
+        shm = g.to_shm()
+        name = shm.name
+        h = Graph.from_shm(name)
+        del h  # releases the attachment's views
+        shm.close()
+        shm.unlink()
+        with pytest.raises(FileNotFoundError):
+            Graph.from_shm(name)
+
+    def test_bad_segment_rejected(self):
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with pytest.raises(Exception):  # InvalidParameterError
+                Graph.from_shm(seg.name)
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_graphstore_close_unlinks_everything(self):
+        trial = TrialSpec(family="tree", algorithm="cor46", seed=1,
+                          family_params={"n": 30})
+        store = GraphStore(use_shm=True)
+        ref = store.payload_graph(trial, for_pool=True)
+        assert isinstance(ref, ShmGraphRef)
+        name = ref.shm_name
+        # attachable while the store is open
+        gen, source = resolve_graph(ref)
+        assert source == "shm"
+        assert gen.graph.shm_backed
+        assert gen.n == 30
+        # drop the module-level attach cache's reference before unlinking
+        from repro.experiments import graphstore as gs
+
+        gs._ATTACHED.pop(name, None)
+        del gen
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            Graph.from_shm(name)
+        assert store.close() is None  # idempotent
+
+
+class TestStoreFallbacks:
+    def test_store_dedups_builds_by_graph_key(self):
+        store = GraphStore(use_shm=False)
+        t1 = TrialSpec(family="tree", algorithm="cor46", seed=1,
+                       family_params={"n": 30})
+        t2 = TrialSpec(family="tree", algorithm="be08", seed=1,
+                       family_params={"n": 30})  # same graph, other algorithm
+        t3 = TrialSpec(family="tree", algorithm="cor46", seed=2,
+                       family_params={"n": 30})  # different seed: new graph
+        assert t1.graph_key() == t2.graph_key() != t3.graph_key()
+        g1 = store.get(t1)
+        assert store.get(t2) is g1
+        assert store.get(t3) is not g1
+        assert (store.builds, store.reuses) == (2, 1)
+
+    def test_no_shm_env_forces_pickle_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        store = GraphStore()
+        assert store.use_shm is False
+        trial = TrialSpec(family="tree", algorithm="cor46", seed=0,
+                          family_params={"n": 24})
+        payload = store.payload_graph(trial, for_pool=True)
+        # the graph itself rides in the payload (pool pickles it)
+        gen, source = resolve_graph(payload)
+        assert source == "pickled"
+        assert not gen.graph.shm_backed
+        # fallback equality: pickle round trip == shm round trip == built
+        copy = pickle.loads(pickle.dumps(gen))
+        _assert_byte_identical(gen.graph, copy.graph)
+        assert copy.arboricity_bound == gen.arboricity_bound
+        store.close()

@@ -1,0 +1,130 @@
+"""Acceptance: sweep records are byte-identical — same content keys, same
+metrics — across every execution path of the staged engine: serial (shared
+in-process store), parallel over shared memory, parallel over the pickle
+fallback, and rebuild-per-trial (the pre-staged engine's shape).
+
+Stage timings and provenance legitimately differ per path; they live
+outside ``metrics`` precisely so everything the cache and the aggregate
+reports consume cannot.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ResultCache,
+    ScenarioSpec,
+    SweepSpec,
+    grid_scenarios,
+    report_table,
+    run_sweep,
+    shm_available,
+)
+
+
+def _spec():
+    """Multi-kind ablation: several algorithm-param cells per shared graph.
+
+    Seeds are explicit: scenario-derived seeds fold the algorithm cell into
+    their derivation (so adding a scenario never shifts its neighbours'),
+    which means only explicit seeds make different algorithm cells land on
+    the *same* graph instances — the shape graph sharing exists for.
+    """
+    scenarios = grid_scenarios(
+        families=[
+            {"name": "forest_union", "n": 40, "a": 2},
+            {"name": "tree", "n": 40},
+        ],
+        algorithms=[
+            {"name": "cor46", "eta": 0.5},
+            {"name": "cor46", "eta": 1.0},
+            {"name": "forests", "epsilon": 0.5},
+            {"name": "luby_mis"},
+        ],
+        seeds=[0, 1],
+    )
+    return SweepSpec("equivalence", scenarios)
+
+
+def _fingerprint(result):
+    """Everything the cache/report layer sees: ordered (key, metrics)."""
+    return [(tr.key, tr.metrics) for tr in result]
+
+
+class TestExecutionPathEquivalence:
+    def test_all_paths_produce_identical_records(self, monkeypatch):
+        spec = _spec()
+        serial = run_sweep(spec)
+        rebuild = run_sweep(spec, share_graphs=False)
+        parallel_shm = run_sweep(spec, workers=2)
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        parallel_pickle = run_sweep(spec, workers=2)
+        monkeypatch.delenv("REPRO_NO_SHM")
+
+        baseline = _fingerprint(serial)
+        assert _fingerprint(rebuild) == baseline
+        assert _fingerprint(parallel_shm) == baseline
+        assert _fingerprint(parallel_pickle) == baseline
+        # and the aggregate presentation layer agrees byte for byte
+        expected = report_table(serial)
+        for other in (rebuild, parallel_shm, parallel_pickle):
+            assert report_table(other) == expected
+
+        # each path really was the path it claims to be
+        assert {t.graph_source for t in serial} == {"store"}
+        assert {t.graph_source for t in rebuild} == {"built"}
+        if shm_available():
+            assert {t.graph_source for t in parallel_shm} == {"shm"}
+        assert {t.graph_source for t in parallel_pickle} == {"pickled"}
+
+        # the ablation shape: 4 algorithm cells share each unique graph
+        assert serial.graph_builds == 4  # 2 families x 2 seeds
+        assert serial.graph_reuses == serial.num_trials - 4
+        assert rebuild.graph_builds == 0
+
+    def test_cache_warmed_by_one_path_serves_every_other(self, tmp_path):
+        spec = _spec()
+        cache_dir = str(tmp_path / "cache")
+        fresh = run_sweep(spec, cache=ResultCache(cache_dir), workers=2)
+        assert fresh.cache_misses == len({t.key() for t in spec.trials()})
+        for kwargs in (
+            {},
+            {"share_graphs": False},
+            {"workers": 2},
+        ):
+            again = run_sweep(spec, cache=ResultCache(cache_dir), **kwargs)
+            assert again.hit_rate == 1.0
+            assert _fingerprint(again) == _fingerprint(fresh)
+
+    @pytest.mark.skipif(not shm_available(), reason="no shared memory here")
+    def test_forced_shm_off_matches_forced_on(self):
+        # two algorithms over the same explicit seeds: each graph is shared,
+        # so pool runs publish it (shm or pickled) instead of rebuilding
+        spec = SweepSpec(
+            "shm-toggle",
+            [
+                ScenarioSpec(family="planar", algorithm="mis_arboricity",
+                             family_params={"n": 36}, seeds=[0, 1]),
+                ScenarioSpec(family="planar", algorithm="forests",
+                             family_params={"n": 36}, seeds=[0, 1]),
+            ],
+        )
+        on = run_sweep(spec, workers=2, use_shm=True)
+        off = run_sweep(spec, workers=2, use_shm=False)
+        assert _fingerprint(on) == _fingerprint(off)
+        assert {t.graph_source for t in on} == {"shm"}
+        assert {t.graph_source for t in off} == {"pickled"}
+
+    def test_single_use_graphs_build_in_the_workers(self):
+        # derived seeds never collide across scenarios, so every graph here
+        # is single-use: pool mode must not pre-build them in the parent
+        spec = SweepSpec(
+            "unshared",
+            [ScenarioSpec(family="tree", algorithm="cor46",
+                          family_params={"n": 40}, num_seeds=3)],
+        )
+        par = run_sweep(spec, workers=2)
+        assert {t.graph_source for t in par} == {"built"}
+        assert par.graph_builds == 0  # nothing was worth pre-building
+        serial = run_sweep(spec)
+        assert _fingerprint(par) == _fingerprint(serial)
+        assert serial.graph_builds == 3  # serial still dedups in-process

@@ -264,6 +264,7 @@ def _cmd_sweep(args) -> int:
             workers=workers,
             progress=print,
             use_shm=False if args.no_shm else None,
+            overlap_builds=not args.no_overlap,
         )
     except InvalidParameterError as exc:
         raise SystemExit(str(exc))
@@ -291,6 +292,17 @@ def _cmd_sweep(args) -> int:
         f"{workers} worker(s); cache: {result.cache_hits} hit(s), "
         f"{result.cache_misses} miss(es) ({hit_pct:.0f}% hit rate)"
     )
+    if result.graph_builds:
+        mode = (
+            "overlapped with execution"
+            if result.build_overlap
+            else "built before dispatch"
+        )
+        print(
+            f"sweep: graph store: {result.graph_builds} build(s) ({mode}, "
+            f"{result.graph_build_s:.2f}s build wall), "
+            f"{result.graph_reuses} reuse(s)"
+        )
     return 0
 
 
@@ -364,6 +376,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable shared-memory graph publishing for "
                          "parallel runs (pickle fallback; $REPRO_NO_SHM=1 "
                          "does the same)")
+    p_sweep.add_argument("--no-overlap", action="store_true",
+                         help="build shared graphs in the parent before "
+                         "dispatch instead of overlapping builds with pool "
+                         "execution (the pre-overlap engine's shape, kept "
+                         "for A/B timing; records are identical either way)")
     p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 

@@ -30,10 +30,12 @@ from .cache import ResultCache
 from .graphstore import GraphStore, ShmGraphRef, shm_available
 from .registry import (
     ALGORITHMS,
+    BUILD_KIND,
     FAMILIES,
     STAGES,
     AlgorithmSpec,
     build_instance,
+    execute_build,
     execute_payload,
     execute_trial,
 )
@@ -45,6 +47,7 @@ from .spec import (
     TrialSpec,
     canonical_json,
     derive_seed,
+    graph_multiplicity,
     grid_scenarios,
 )
 
@@ -56,12 +59,15 @@ __all__ = [
     "grid_scenarios",
     "canonical_json",
     "derive_seed",
+    "graph_multiplicity",
     "FAMILIES",
     "ALGORITHMS",
     "AlgorithmSpec",
     "STAGES",
+    "BUILD_KIND",
     "build_instance",
     "execute_trial",
+    "execute_build",
     "execute_payload",
     "GraphStore",
     "ShmGraphRef",

@@ -214,10 +214,24 @@ def stage_timing_table(
                 row.append("-")
         row.append(round(1e3 * total, 2) if timed else "-")
         rows.append(row)
+    note = (
+        "mean wall time per trial stage (machine-dependent; cached "
+        "records keep the timings of the run that computed them)"
+    )
+    if sweep.graph_builds:
+        mode = (
+            "overlapped with pool execution"
+            if sweep.build_overlap
+            else "built before dispatch"
+        )
+        note += (
+            f"; shared graphs: {sweep.graph_builds} build(s) {mode}, "
+            f"{sweep.graph_reuses} reuse(s), "
+            f"{sweep.graph_build_s:.2f}s build wall"
+        )
     return render_table(
         title or f"stage timings — {sweep.name}",
         headers,
         rows,
-        note="mean wall time per trial stage (machine-dependent; cached "
-        "records keep the timings of the run that computed them)",
+        note=note,
     )

@@ -4,10 +4,11 @@ Barenboim–Elkin's pipeline is staged: one graph (and its decomposition)
 feeds many downstream algorithm runs.  The sweep engine mirrors that shape:
 an ablation sweep varies algorithm parameters over the *same* graphs, so
 rebuilding each instance per trial wastes most of the wall clock.  The
-:class:`GraphStore` builds every unique graph **once** in the parent —
-keyed by :meth:`repro.experiments.spec.TrialSpec.graph_key`, i.e. the
+:class:`GraphStore` dedups graph construction by
+:meth:`repro.experiments.spec.TrialSpec.graph_key` — i.e. the
 ``(family, family_params, seed)`` content the builder actually sees — and
-hands it to the trial executors three ways, fastest available first:
+hands each unique instance to the trial executors three ways, fastest
+available first:
 
 * **shared memory** (``workers > 1``): the CSR arrays are published once
   per unique graph via :meth:`repro.graphs.graph.Graph.to_shm` and every
@@ -20,22 +21,40 @@ hands it to the trial executors three ways, fastest available first:
   the pool's dispatch (the fallback saves the builds, not the copies);
 * **in-process** (``workers == 1``): the object itself is passed through.
 
-All three paths produce byte-identical CSR arrays (shm attach is a view of
+Construction itself can happen on *either* side of the process boundary.
+The parent builds in-process (:meth:`GraphStore.get`, or
+:meth:`GraphStore.publish` to move the bytes into a segment), but the
+overlapped pool scheduler instead dispatches build-only payloads into the
+worker pool: the worker builds, publishes the segment under a
+parent-chosen name (or returns the pickled instance), and the parent
+**adopts** the result — :meth:`GraphStore.adopt_segment` /
+:meth:`GraphStore.adopt_graph` — so it owns segments it did not build.
+:meth:`GraphStore.expect_segment` records every name promised to a worker
+*before* the build is dispatched, so :meth:`close` can reclaim segments
+whose build result never came back (interrupt or pool crash mid-overlap).
+
+All transports produce byte-identical CSR arrays (shm attach is a view of
 the same bytes, pickling round-trips them), so trial metrics never depend
-on the transport — the equivalence suite pins that down.
+on the transport — the equivalence suite pins that down.  Build/reuse
+accounting is likewise transport-independent: a graph counts one *build*
+when it materialises (parent-built, worker-built, or published) and one
+*reuse* per consumer beyond the first, whichever path served it.
 
 The store owns its segments: :meth:`close` (or use as a context manager)
-closes and unlinks everything it published.  Worker processes never unlink;
-a worker that dies mid-trial costs nothing because the parent still holds
-the segment.
+closes and unlinks everything it published or adopted, plus everything it
+still expects, and evicts this process's attach-cache entries for those
+segments.  Worker processes never unlink; a worker that dies mid-trial
+costs nothing because the parent still holds (or reclaims) the segment.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..errors import InvalidParameterError
 from ..graphs import GeneratedGraph
 from ..graphs.graph import Graph
 from .registry import build_instance
@@ -98,22 +117,43 @@ class ShmGraphRef:
     params: Dict[str, object]
 
 
-#: worker-side attach cache: one zero-copy attachment per segment per process
-_ATTACHED: Dict[str, GeneratedGraph] = {}
+#: worker-side attach cache: one zero-copy attachment per segment per
+#: process, keyed by ``(segment name, graph key)`` — the content key keeps
+#: a recycled OS segment name from ever serving a stale graph
+_ATTACHED: Dict[Tuple[str, str], GeneratedGraph] = {}
 
 
 def attach_graph(ref: ShmGraphRef) -> GeneratedGraph:
-    """Attach to a published graph (cached per process, one map per segment)."""
-    gen = _ATTACHED.get(ref.shm_name)
+    """Attach to a published graph (cached per process, one map per segment).
+
+    The cache key includes the graph's content key: if the OS recycles a
+    segment name for different content, the stale attachment under that
+    name is evicted and the new segment is mapped fresh.
+    """
+    cache_key = (ref.shm_name, ref.graph_key)
+    gen = _ATTACHED.get(cache_key)
     if gen is None:
+        detach_segments([ref.shm_name])  # drop any stale same-name entry
         gen = GeneratedGraph(
             Graph.from_shm(ref.shm_name),
             ref.arboricity_bound,
             ref.name,
             dict(ref.params),
         )
-        _ATTACHED[ref.shm_name] = gen
+        _ATTACHED[cache_key] = gen
     return gen
+
+
+def detach_segments(names: Iterable[str]) -> None:
+    """Evict this process's attach-cache entries for the given segments.
+
+    Called by :meth:`GraphStore.close` so a long-lived process that runs
+    several sweeps does not accumulate dead segment attachments (each one
+    pins a mapping of the reclaimed segment until process exit).
+    """
+    names = set(names)
+    for key in [k for k in _ATTACHED if k[0] in names]:
+        del _ATTACHED[key]
 
 
 def resolve_graph(
@@ -134,6 +174,21 @@ def resolve_graph(
     raise TypeError(f"unsupported graph payload: {type(graph).__name__}")
 
 
+def _unlink_segment(name: str) -> None:
+    """Best-effort unlink of a segment by name (absent is fine)."""
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # raced with another unlinker
+        pass
+
+
 class GraphStore:
     """Parent-side build-once store; see the module docstring.
 
@@ -142,6 +197,17 @@ class GraphStore:
     use_shm:
         ``True``/``False`` forces the transport; ``None`` (default) uses
         shared memory when it is available and ``REPRO_NO_SHM`` is unset.
+
+    Accounting (identical across transports by construction):
+
+    * ``builds`` — graphs materialised through the store (built in-process
+      or adopted from a worker);
+    * ``reuses`` — consumers served beyond each graph's first;
+    * ``build_s`` — wall seconds spent inside the family builders,
+      wherever they ran;
+    * ``live_peak`` — the most in-process graph copies ever held at once
+      (the pickle fallback's memory watermark; published segments and the
+      worker-side copies behind them are not in-process copies).
     """
 
     def __init__(self, use_shm: Optional[bool] = None):
@@ -153,22 +219,144 @@ class GraphStore:
         #: graph_key -> (name, arboricity_bound, params) of published graphs,
         #: kept so refs can be minted after the heap copy is discarded
         self._meta: Dict[str, tuple] = {}
+        #: graph_key -> segment name promised to a worker build that has not
+        #: been adopted yet; close() reclaims these even if no result landed
+        self._expected: Dict[str, str] = {}
+        #: graph keys that already served their first consumer
+        self._used: set = set()
         self.builds = 0
         self.reuses = 0
+        self.build_s = 0.0
+        self.live_peak = 0
 
     def __len__(self) -> int:
         return len(self._graphs)
 
-    def get(self, trial: TrialSpec) -> GeneratedGraph:
-        """The built instance for ``trial``, deduped by its graph key."""
+    # -- accounting ------------------------------------------------------
+    def _count_use(self, gkey: str) -> None:
+        if gkey in self._used:
+            self.reuses += 1
+        else:
+            self._used.add(gkey)
+
+    def _track_live(self) -> None:
+        if len(self._graphs) > self.live_peak:
+            self.live_peak = len(self._graphs)
+
+    # -- parent-side construction ----------------------------------------
+    def ensure_built(self, trial: TrialSpec) -> GeneratedGraph:
+        """Materialise ``trial``'s graph in-process (idempotent, no use
+        counted — callers hand copies out via :meth:`get` / :meth:`mint`)."""
         gkey = trial.graph_key()
         gen = self._graphs.get(gkey)
         if gen is None:
+            t0 = time.perf_counter()
             gen = build_instance(trial)
+            self.build_s += time.perf_counter() - t0
             self._graphs[gkey] = gen
             self.builds += 1
-        else:
-            self.reuses += 1
+            self._track_live()
+        return gen
+
+    def get(self, trial: TrialSpec) -> GeneratedGraph:
+        """The built instance for ``trial``, deduped by its graph key."""
+        gen = self.ensure_built(trial)
+        self._count_use(trial.graph_key())
+        return gen
+
+    def publish(self, trial: TrialSpec) -> str:
+        """Build (if needed) and move one graph into a shared segment.
+
+        The parent's heap copy is dropped once the segment exists — the
+        segment is the copy of record.  Returns the segment name.
+        Idempotent per graph key.
+        """
+        gkey = trial.graph_key()
+        seg = self._segments.get(gkey)
+        if seg is None:
+            gen = self.ensure_built(trial)
+            seg = gen.graph.to_shm()
+            self._segments[gkey] = seg
+            self._meta[gkey] = (gen.name, gen.arboricity_bound, dict(gen.params))
+            self.discard(gkey)
+        return seg.name
+
+    # -- worker-built graphs (the overlapped scheduler's hand-off) --------
+    def expect_segment(self, gkey: str, shm_name: str) -> None:
+        """Record a segment name promised to a worker build, pre-dispatch.
+
+        Guarantees cleanup: :meth:`close` unlinks expected-but-unadopted
+        names, so an interrupt between the worker's ``to_shm`` and the
+        parent's adoption leaks nothing.
+        """
+        self._expected[gkey] = shm_name
+
+    def adopt_segment(
+        self,
+        gkey: str,
+        shm_name: str,
+        name: str,
+        arboricity_bound: int,
+        params: Dict[str, object],
+        build_s: float = 0.0,
+    ) -> None:
+        """Take ownership of a segment a worker published.
+
+        The parent attaches (so the handle's lifetime is the store's) and
+        from here on the segment behaves exactly like one
+        :meth:`publish` created: :meth:`mint` serves refs to it and
+        :meth:`close` unlinks it.
+        """
+        from multiprocessing import shared_memory
+
+        self._expected.pop(gkey, None)
+        if gkey in self._segments:  # pragma: no cover - scheduler invariant
+            raise InvalidParameterError(
+                f"GraphStore.adopt_segment: graph {gkey[:12]}… already held"
+            )
+        self._segments[gkey] = shared_memory.SharedMemory(name=shm_name)
+        self._meta[gkey] = (name, int(arboricity_bound), dict(params))
+        self.builds += 1
+        self.build_s += build_s
+
+    def adopt_graph(
+        self, gkey: str, gen: GeneratedGraph, build_s: float = 0.0
+    ) -> None:
+        """Take ownership of a worker-built graph (the pickle fallback)."""
+        self._expected.pop(gkey, None)
+        self._graphs[gkey] = gen
+        self.builds += 1
+        self.build_s += build_s
+        self._track_live()
+
+    # -- consumers ---------------------------------------------------------
+    def mint(self, gkey: str) -> object:
+        """One consumer's payload ``graph`` value for an already-held graph.
+
+        A :class:`ShmGraphRef` when the graph lives in a segment, the
+        in-process :class:`~repro.graphs.generators.GeneratedGraph`
+        otherwise (the pool pickles it into the payload).  Every mint
+        beyond a graph's first counts one reuse — the same accounting the
+        in-process :meth:`get` path applies.
+        """
+        seg = self._segments.get(gkey)
+        if seg is not None:
+            self._count_use(gkey)
+            name, bound, params = self._meta[gkey]
+            return ShmGraphRef(
+                graph_key=gkey,
+                shm_name=seg.name,
+                name=name,
+                arboricity_bound=bound,
+                params=dict(params),
+            )
+        gen = self._graphs.get(gkey)
+        if gen is None:
+            raise InvalidParameterError(
+                f"GraphStore.mint: graph {gkey[:12]}… is not held "
+                "(never built/adopted, or already discarded)"
+            )
+        self._count_use(gkey)
         return gen
 
     def payload_graph(self, trial: TrialSpec, for_pool: bool) -> object:
@@ -176,30 +364,15 @@ class GraphStore:
 
         ``for_pool=False`` passes the in-process object straight through;
         ``for_pool=True`` returns a :class:`ShmGraphRef` (publishing the
-        segment on first use — and dropping the parent's heap copy, whose
-        bytes now live in the segment) or, without shared memory, the
-        instance itself to be pickled into each sharing trial's payload.
+        segment on first use) or, without shared memory, the instance
+        itself to be pickled into each sharing trial's payload.
         """
         if not for_pool or not self.use_shm:
             return self.get(trial)
         gkey = trial.graph_key()
-        seg = self._segments.get(gkey)
-        if seg is None:
-            gen = self.get(trial)
-            seg = gen.graph.to_shm()
-            self._segments[gkey] = seg
-            self._meta[gkey] = (gen.name, gen.arboricity_bound, dict(gen.params))
-            self.discard(gkey)  # the segment is the copy of record now
-        else:
-            self.reuses += 1
-        name, bound, params = self._meta[gkey]
-        return ShmGraphRef(
-            graph_key=gkey,
-            shm_name=seg.name,
-            name=name,
-            arboricity_bound=bound,
-            params=dict(params),
-        )
+        if gkey not in self._segments:
+            self.publish(trial)
+        return self.mint(gkey)
 
     def discard(self, gkey: str) -> None:
         """Drop the in-process copy of one graph (published segments stay).
@@ -211,16 +384,27 @@ class GraphStore:
         self._graphs.pop(gkey, None)
 
     def close(self) -> None:
-        """Release every published segment (close + unlink) and drop graphs."""
+        """Release every owned segment (close + unlink), reclaim every
+        expected-but-unadopted one, drop graphs, and evict this process's
+        attach-cache entries for all of them."""
         segments, self._segments = self._segments, {}
+        expected, self._expected = self._expected, {}
         self._graphs.clear()
         self._meta.clear()
+        names: List[str] = []
         for seg in segments.values():
+            names.append(seg.name)
             try:
                 seg.close()
                 seg.unlink()
             except FileNotFoundError:  # already reclaimed (double close)
                 pass
+        for name in expected.values():
+            # promised to a worker but never adopted: an interrupt or pool
+            # crash mid-overlap — the worker may still have written it
+            names.append(name)
+            _unlink_segment(name)
+        detach_segments(names)
 
     def __enter__(self) -> "GraphStore":
         return self

@@ -305,6 +305,54 @@ def _result_metrics(
 #: stage names, in execution order, as they appear in records
 STAGES = ("build_graph", "run_algorithm", "verify", "metrics")
 
+#: payload/record marker for build-only pool work (no algorithm, no cache
+#: record — the result hands a built graph back to the parent)
+BUILD_KIND = "graph_build"
+
+
+def execute_build(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool entry point for a build-only payload.
+
+    The overlapped scheduler dispatches shared-graph construction into the
+    same pool that runs trials.  The worker builds the instance and hands
+    it back one of two ways:
+
+    * ``payload["shm_name"]`` set: publish the CSR arrays into a shared
+      segment under that parent-chosen name (the parent adopts it with
+      :meth:`~.graphstore.GraphStore.adopt_segment`; pre-naming means the
+      parent can reclaim the segment even if this result never arrives)
+      and return only the metadata;
+    * no ``shm_name``: return the built
+      :class:`~repro.graphs.generators.GeneratedGraph` in the result (the
+      pickle fallback — the pool's transport does the pickling).
+
+    Build results are *not* trial records: they carry no metrics and are
+    never cached.
+    """
+    trial = TrialSpec.from_dict(payload["trial"])
+    t0 = time.perf_counter()
+    gen = build_instance(trial)
+    build_s = time.perf_counter() - t0
+    record: Dict[str, Any] = {
+        "kind": BUILD_KIND,
+        "graph_key": trial.graph_key(),
+        "name": gen.name,
+        "arboricity_bound": gen.arboricity_bound,
+        "params": dict(gen.params),
+        "build_s": round(build_s, 6),
+        "pid": os.getpid(),
+    }
+    shm_name = payload.get("shm_name")
+    if shm_name:
+        seg = gen.graph.to_shm(name=shm_name)
+        # the segment (not this worker's mapping) is the copy of record;
+        # the parent owns unlinking
+        seg.close()
+        record["shm_name"] = shm_name
+    else:
+        record["graph"] = gen
+    return record
+
 
 def execute_trial(
     trial_dict: Dict[str, Any],
@@ -365,12 +413,16 @@ def execute_trial(
 def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Pool entry point: a trial dict plus an optional pre-built graph.
 
-    ``payload["graph"]`` is ``None`` (build here), a
-    :class:`~.graphstore.ShmGraphRef` (attach zero-copy), or a pickled
-    :class:`~repro.graphs.generators.GeneratedGraph` (the no-shm fallback).
+    ``payload["kind"] == BUILD_KIND`` marks build-only work (see
+    :func:`execute_build`).  Otherwise ``payload["graph"]`` is ``None``
+    (build here), a :class:`~.graphstore.ShmGraphRef` (attach zero-copy),
+    or a pickled :class:`~repro.graphs.generators.GeneratedGraph` (the
+    no-shm fallback).
     """
     from .graphstore import resolve_graph
 
+    if payload.get("kind") == BUILD_KIND:
+        return execute_build(payload)
     gen, source = resolve_graph(payload.get("graph"))
     # serial runs hand the object over in-process; the payload says so
     # (resolve_graph alone cannot tell an unpickled copy from the original)

@@ -1,21 +1,26 @@
-"""The staged sweep runner: cache probe, shared graph builds, streaming
-fan-out, streaming persistence.
+"""The staged sweep runner: cache probe, overlapped shared-graph builds,
+streaming fan-out, streaming persistence.
 
 Execution plan for one sweep:
 
 1. expand the :class:`~repro.experiments.spec.SweepSpec` into trials;
-2. probe the :class:`~repro.experiments.cache.ResultCache` for each trial's
-   content key — hits are served instantly;
-3. build every *shared* graph instance once in the parent via the
-   :class:`~repro.experiments.graphstore.GraphStore` (trials of an ablation
-   sweep that vary only algorithm parameters share one build) and publish
-   the builds to the workers — zero-copy over ``multiprocessing.shared_memory``
-   when available, pickled into the payload otherwise; graphs only one
-   trial uses are built by the worker running that trial, so unshared
-   construction keeps the pool's parallelism;
-4. fan the remaining trials out over one persistent ``multiprocessing``
-   pool with ``imap_unordered``, so results stream back as they complete
-   instead of arriving in one blocking batch;
+2. probe the :class:`~repro.experiments.cache.ResultCache` once per unique
+   trial key — hits are served instantly, and a trial the spec lists twice
+   is probed (and computed) once;
+3. schedule every *shared* graph instance (trials of an ablation sweep that
+   vary only algorithm parameters share one build) through the
+   :class:`~repro.experiments.graphstore.GraphStore`.  In pool mode the
+   builds are **dispatched into the same pool as the trials**: a worker
+   builds the graph and publishes it back — a shared-memory segment under a
+   parent-chosen name, or the pickled instance — and the parent adopts the
+   result and releases that graph's trials the moment it lands.  Graphs
+   only one trial uses are built by the worker running that trial, so
+   unshared construction keeps the pool's parallelism;
+4. fan the work out over one persistent ``multiprocessing`` pool with
+   ``imap_unordered``, fed by a **lazy generator**: build payloads first,
+   then unshared trials, then each sharing trial as its graph becomes
+   ready.  Nothing materialises the whole sweep up front, so at any moment
+   the parent holds only the graphs whose trials are still ahead of it;
 5. persist every fresh record **as it arrives** (single writer — the
    parent; the workers never touch the cache), so a crashed or interrupted
    sweep resumes from every trial that finished, and return everything in
@@ -26,22 +31,26 @@ derived from the trial key, the shared graph a worker attaches is
 byte-identical to the one a rebuild would produce, and results are
 reordered to spec order after the unordered parallel collection — so a
 sweep's aggregate output is byte-identical whether it ran serial, parallel,
-via shared memory, via the pickle fallback, or entirely from cache.
+via shared memory, via the pickle fallback, with builds overlapped or
+prebuilt, or entirely from cache.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
+import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..errors import InvalidParameterError
 from .cache import ResultCache
 from .graphstore import GraphStore
-from .registry import execute_payload
-from .spec import SweepSpec, TrialSpec
+from .registry import BUILD_KIND, execute_payload
+from .spec import SweepSpec, TrialSpec, graph_multiplicity
 
 __all__ = ["TrialResult", "SweepResult", "run_sweep", "default_workers"]
 
@@ -78,10 +87,18 @@ class SweepResult:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_s: float = 0.0
-    #: unique graphs built by the GraphStore for this run
+    #: unique graphs built through the GraphStore for this run (in the
+    #: parent or adopted from a worker — the accounting is transport-
+    #: independent)
     graph_builds: int = 0
-    #: trials that reused a graph another trial already built
+    #: trials that reused a graph another consumer already materialised
     graph_reuses: int = 0
+    #: wall seconds spent inside the family builders for shared graphs,
+    #: wherever they ran (parent or workers)
+    graph_build_s: float = 0.0
+    #: True when shared-graph builds were dispatched into the pool and
+    #: overlapped with trial execution (vs. prebuilt in the parent)
+    build_overlap: bool = False
 
     @property
     def num_trials(self) -> int:
@@ -125,6 +142,151 @@ def default_workers() -> int:
     return max(1, min(os.cpu_count() or 1, cap))
 
 
+def _segment_name(nonce: str, index: int) -> str:
+    """A short, collision-safe shared-memory segment name.
+
+    Parent-chosen *before* the build is dispatched, so the parent can
+    reclaim the segment even when the worker's result never arrives.
+    Kept short because some platforms cap POSIX shm names at ~30 chars.
+    """
+    return f"rg{os.getpid():x}-{nonce}-{index:x}"
+
+
+def _run_pool(
+    pending: List[TrialSpec],
+    store: Optional[GraphStore],
+    workers: int,
+    absorb: Callable[[dict], None],
+    say: Callable[[str], None],
+    name: str,
+    overlap_builds: bool,
+) -> bool:
+    """Pool-mode scheduling: overlapped builds + lazily streamed trials.
+
+    Returns True when shared builds actually overlapped pool execution.
+    """
+    multiplicity = graph_multiplicity(pending) if store is not None else {}
+    sharing: Dict[str, List[TrialSpec]] = {}
+    solo: List[TrialSpec] = []
+    for t in pending:
+        gkey = t.graph_key()
+        if store is not None and multiplicity.get(gkey, 0) > 1:
+            sharing.setdefault(gkey, []).append(t)
+        else:
+            solo.append(t)
+    build_order = list(sharing)
+    overlap = overlap_builds and bool(build_order)
+
+    transport = ""
+    if store is not None and build_order:
+        transport = " via shared memory" if store.use_shm else " via pickled payloads"
+    if overlap:
+        say(f"{name}: {len(build_order)} shared graph build(s) dispatched "
+            f"to the pool{transport}")
+    elif build_order:
+        # legacy shape (kept as the A/B baseline): every shared graph is
+        # built in the parent before the first trial is dispatched
+        for gkey in build_order:
+            rep = sharing[gkey][0]
+            if store.use_shm:
+                store.publish(rep)
+            else:
+                store.ensure_built(rep)
+        say(f"{name}: {len(build_order)} shared graph(s) prebuilt in the "
+            f"parent{transport}")
+
+    seg_names: Dict[str, str] = {}
+    if overlap and store.use_shm:
+        nonce = uuid.uuid4().hex[:6]
+        for i, gkey in enumerate(build_order):
+            seg_names[gkey] = _segment_name(nonce, i)
+            store.expect_segment(gkey, seg_names[gkey])
+
+    #: graph keys whose graphs the parent holds, ready to mint payloads
+    ready: "queue.Queue[str]" = queue.Queue()
+    abort = threading.Event()
+    if not overlap:
+        for gkey in build_order:
+            ready.put(gkey)
+
+    pool_size = min(workers, len(pending))
+    # backpressure: at most this many builds dispatched beyond the ones
+    # whose trials have been streamed.  Enough to keep every worker busy,
+    # but a fast pool can never pile more than ``window + 1`` undispatched
+    # graphs into the parent (the no-shm memory bound the lazy stream
+    # exists for) — without it, tiny builds returning faster than trials
+    # dispatch would accumulate every shared graph at once.
+    window = pool_size + 2
+
+    def _build_payload(gkey):
+        return {
+            "kind": BUILD_KIND,
+            "trial": sharing[gkey][0].to_dict(),
+            "shm_name": seg_names.get(gkey),
+        }
+
+    def stream():
+        """The lazy payload feed ``imap_unordered`` consumes.
+
+        A priming window of builds goes out first so the pool starts them
+        immediately; unshared trials fill the remaining workers while
+        builds are in flight; each sharing trial is yielded the moment its
+        graph is ready — and its graph's in-process copy is dropped with
+        its last payload, with one more build dispatched in its place.
+        Runs on the pool's task-handler thread.
+        """
+        dispatched = 0
+        if overlap:
+            while dispatched < min(window, len(build_order)):
+                yield _build_payload(build_order[dispatched])
+                dispatched += 1
+        for t in solo:
+            yield {"trial": t.to_dict(), "graph": None}
+        served = 0
+        while served < len(build_order):
+            # never block without a timeout: pool teardown joins this
+            # generator's thread, so an abandoned wait would deadlock the
+            # exception path
+            if abort.is_set():
+                return
+            try:
+                gkey = ready.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            served += 1
+            for t in sharing[gkey]:
+                yield {"trial": t.to_dict(), "graph": store.mint(gkey)}
+            store.discard(gkey)
+            if overlap and dispatched < len(build_order):
+                yield _build_payload(build_order[dispatched])
+                dispatched += 1
+
+    with multiprocessing.Pool(pool_size) as pool:
+        try:
+            for rec in pool.imap_unordered(execute_payload, stream(), chunksize=1):
+                if rec.get("kind") == BUILD_KIND:
+                    gkey = rec["graph_key"]
+                    if rec.get("shm_name"):
+                        store.adopt_segment(
+                            gkey,
+                            rec["shm_name"],
+                            name=rec["name"],
+                            arboricity_bound=rec["arboricity_bound"],
+                            params=rec["params"],
+                            build_s=rec["build_s"],
+                        )
+                    else:
+                        store.adopt_graph(gkey, rec["graph"], build_s=rec["build_s"])
+                    ready.put(gkey)
+                else:
+                    absorb(rec)
+        except BaseException:
+            # unblock the task-handler thread before Pool.__exit__ joins it
+            abort.set()
+            raise
+    return overlap
+
+
 def run_sweep(
     spec: SweepSpec,
     cache: Optional[ResultCache] = None,
@@ -132,6 +294,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     use_shm: Optional[bool] = None,
     share_graphs: bool = True,
+    overlap_builds: bool = True,
 ) -> SweepResult:
     """Run every trial of ``spec``, reusing ``cache`` when given.
 
@@ -154,6 +317,12 @@ def run_sweep(
         ``False`` disables the GraphStore entirely: every trial rebuilds
         its graph from the family registry, like the pre-staged engine.
         Kept as the comparison baseline for ``bench_sweep_scale``.
+    overlap_builds:
+        ``False`` restores the pre-overlap pool behaviour: shared graphs
+        are built sequentially in the parent before any trial is
+        dispatched.  Kept as the A/B baseline for ``bench_sweep_scale``
+        and the CLI's ``--no-overlap``; records are byte-identical either
+        way.  Irrelevant for serial runs.
     """
     if not isinstance(workers, int) or workers < 1:
         raise InvalidParameterError(
@@ -166,91 +335,71 @@ def run_sweep(
     records: Dict[str, dict] = {}
     cached_keys = set()
     pending: List[TrialSpec] = []
-    pending_keys = set()
+    # one cache probe per *unique* key: duplicate occurrences of a trial
+    # must not inflate the cache object's hit/miss counters (SweepResult
+    # counts unique keys, and cache.stats() must agree with it)
+    probed = set()
     for trial in trials:
         key = trial.key()
+        if key in probed:
+            continue
+        probed.add(key)
         rec = cache.get(key) if cache is not None else None
         if rec is not None:
             records[key] = rec
             cached_keys.add(key)
-        elif key not in pending_keys:
+        else:
             pending.append(trial)
-            pending_keys.add(key)
 
     graph_builds = 0
     graph_reuses = 0
+    graph_build_s = 0.0
+    build_overlap = False
     if pending:
         say(f"{spec.name}: computing {len(pending)} trial(s), "
             f"{len(cached_keys)} cached")
         pool_mode = workers > 1 and len(pending) > 1
         store = GraphStore(use_shm=use_shm) if share_graphs else None
-        # In pool mode only graphs that more than one trial consumes are
-        # worth pre-building in the parent (that is the sharing win); a
-        # single-use graph is built by the worker running its trial, so
-        # unshared builds stay as parallel as the trials themselves.
-        # (Shared graphs are still built sequentially in the parent before
-        # dispatch — with many distinct shared graphs and a large pool,
-        # ``share_graphs=False`` can win; overlapping shared builds with
-        # execution is an open item.)
-        remaining: Dict[str, int] = {}
-        if store is not None:
-            for t in pending:
-                gkey = t.graph_key()
-                remaining[gkey] = remaining.get(gkey, 0) + 1
-        shared_keys = {k for k, c in remaining.items() if c > 1}
 
-        def make_payload(t: TrialSpec) -> dict:
-            """Build one trial's payload, evicting graphs no trial still
-            ahead of this one needs (long sweeps hold only their future)."""
-            gkey = t.graph_key()
-            if store is None or (pool_mode and gkey not in shared_keys):
-                graph = None
-            else:
-                graph = store.payload_graph(t, for_pool=pool_mode)
-            payload = {"trial": t.to_dict(), "graph": graph}
-            if store is not None and not pool_mode and graph is not None:
-                payload["graph_source"] = "store"
-            if store is not None:
-                remaining[gkey] -= 1
-                if remaining[gkey] == 0:
-                    store.discard(gkey)
-            return payload
+        done = 0
+
+        def absorb(rec: dict) -> None:
+            nonlocal done
+            records[rec["key"]] = rec
+            # streaming persistence: one atomic append per completed
+            # trial, so an interrupted sweep keeps everything finished
+            if cache is not None:
+                cache.put(rec)
+            done += 1
+            if progress is not None:  # label/format only when watched
+                progress(f"{spec.name}: [{done}/{len(pending)}] "
+                         f"{TrialSpec.from_dict(rec['trial']).label()} "
+                         f"({rec['elapsed_s']:.2f}s)")
 
         try:
-            done = 0
-
-            def absorb(rec: dict) -> None:
-                nonlocal done
-                records[rec["key"]] = rec
-                # streaming persistence: one atomic append per completed
-                # trial, so an interrupted sweep keeps everything finished
-                if cache is not None:
-                    cache.put(rec)
-                done += 1
-                if progress is not None:  # label/format only when watched
-                    progress(f"{spec.name}: [{done}/{len(pending)}] "
-                             f"{TrialSpec.from_dict(rec['trial']).label()} "
-                             f"({rec['elapsed_s']:.2f}s)")
-
             if pool_mode:
-                payloads = [make_payload(t) for t in pending]
-                if store is not None:
-                    transport = " via shared memory" if store.use_shm else ""
-                    say(f"{spec.name}: {store.builds} shared graph(s) "
-                        f"built, {store.reuses} reuse(s){transport}")
-                with multiprocessing.Pool(min(workers, len(pending))) as pool:
-                    for rec in pool.imap_unordered(
-                        execute_payload, payloads, chunksize=1
-                    ):
-                        absorb(rec)
+                build_overlap = _run_pool(
+                    pending, store, workers, absorb, say, spec.name,
+                    overlap_builds,
+                )
             else:
-                # serial: payloads are made one at a time, so at most the
-                # shared graphs still ahead of the sweep are alive at once
+                # serial: graphs are handed over in-process, one payload at
+                # a time, evicting each graph with its last pending trial
+                remaining = graph_multiplicity(pending) if store is not None else {}
                 for t in pending:
-                    absorb(execute_payload(make_payload(t)))
+                    payload = {"trial": t.to_dict(), "graph": None}
+                    if store is not None:
+                        gkey = t.graph_key()
+                        payload["graph"] = store.get(t)
+                        payload["graph_source"] = "store"
+                        remaining[gkey] -= 1
+                        if remaining[gkey] == 0:
+                            store.discard(gkey)
+                    absorb(execute_payload(payload))
             if store is not None:
                 graph_builds = store.builds
                 graph_reuses = store.reuses
+                graph_build_s = store.build_s
         finally:
             if store is not None:
                 store.close()
@@ -283,4 +432,6 @@ def run_sweep(
         wall_s=time.perf_counter() - t0,
         graph_builds=graph_builds,
         graph_reuses=graph_reuses,
+        graph_build_s=round(graph_build_s, 6),
+        build_overlap=build_overlap,
     )

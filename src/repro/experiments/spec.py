@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import InvalidParameterError
 
@@ -220,6 +220,21 @@ class SweepSpec:
     def from_file(cls, path: str) -> "SweepSpec":
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_json(fh.read())
+
+
+def graph_multiplicity(trials: Iterable["TrialSpec"]) -> Dict[str, int]:
+    """How many of ``trials`` consume each graph instance.
+
+    Maps :meth:`TrialSpec.graph_key` to its trial count, in first-seen
+    order.  Keys with multiplicity > 1 are the *shared* graphs — the ones
+    the runner builds once (overlapped with pool execution) instead of once
+    per trial, and the ones ``--stage-timings`` reports build overlap for.
+    """
+    counts: Dict[str, int] = {}
+    for t in trials:
+        gkey = t.graph_key()
+        counts[gkey] = counts.get(gkey, 0) + 1
+    return counts
 
 
 def grid_scenarios(

@@ -282,6 +282,27 @@ class TestRunner:
         assert second.hit_rate == 1.0
         assert all(tr.cached for tr in second)
 
+    def test_duplicate_trials_probe_the_cache_once(self, tmp_path):
+        """Regression: the cache object's own hit/miss counters must agree
+        with SweepResult — one probe per unique key, not per occurrence (a
+        duplicated trial used to inflate ``ResultCache.hits``, making
+        ``cache.stats()`` disagree with ``SweepResult.hit_rate``)."""
+        dup = SweepSpec(
+            "dup-stats",
+            [ScenarioSpec(family="tree", algorithm="cor46",
+                          family_params={"n": 30}, seeds=[5, 5, 5])],
+        )
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_sweep(dup, cache=cache)
+        assert cache.stats() == (0, 1)
+        assert cache.stats() == (first.cache_hits, first.cache_misses)
+
+        cache2 = ResultCache(str(tmp_path / "cache"))
+        second = run_sweep(dup, cache=cache2)
+        assert cache2.stats() == (1, 0)
+        assert cache2.stats() == (second.cache_hits, second.cache_misses)
+        assert second.hit_rate == 1.0
+
     def test_interrupted_sweep_resumes(self, tmp_path):
         """A cache warmed by a prefix of the sweep only recomputes the rest."""
         spec = tiny_spec()
@@ -298,6 +319,152 @@ class TestRunner:
                 run_sweep(tiny_spec(num_seeds=1), workers=bad)
         with pytest.raises(InvalidParameterError, match="workers"):
             run_sweep(tiny_spec(num_seeds=1), workers=2.0)
+
+
+class TestOverlappedBuilds:
+    """The overlapped build pipeline: shared graphs built in the pool,
+    streamed lazily, with bounded parent memory and airtight segment
+    cleanup on interrupts."""
+
+    @staticmethod
+    def _shared_spec(num_graphs, n=60):
+        """Every graph shared by two algorithm cells (explicit seeds)."""
+        return SweepSpec(
+            "overlap",
+            grid_scenarios(
+                families=[{"name": "forest_union", "n": n, "a": 2}],
+                algorithms=[{"name": "cor46"}, {"name": "forests"}],
+                seeds=list(range(num_graphs)),
+            ),
+        )
+
+    @staticmethod
+    def _spy_store(monkeypatch):
+        """Capture the GraphStore instance run_sweep creates internally."""
+        import repro.experiments.runner as runner_mod
+        from repro.experiments import GraphStore
+
+        created = []
+
+        class Spy(GraphStore):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                created.append(self)
+
+        monkeypatch.setattr(runner_mod, "GraphStore", Spy)
+        return created
+
+    def test_no_shm_pool_keeps_only_graphs_still_ahead(self, monkeypatch):
+        """Regression: the pickle-fallback pool path used to materialise
+        every payload (each holding the graph) before dispatch, so all
+        shared graphs were live at once and the remaining-count eviction
+        freed nothing.  With the lazy stream and its build-dispatch
+        backpressure window (pool size + 2), the parent can never hold
+        more than ``window + 1`` graphs at once, however fast the builds
+        return — each copy is dropped with its last dispatched trial."""
+        num_graphs = 8
+        workers = 2
+        window = workers + 2  # the runner's backpressure window
+        created = self._spy_store(monkeypatch)
+        res = run_sweep(self._shared_spec(num_graphs), workers=workers,
+                        use_shm=False)
+        (store,) = created
+        assert res.graph_builds == num_graphs
+        assert store.live_peak >= 1  # graphs really were adopted in-process
+        assert store.live_peak <= window + 1
+        assert store.live_peak < num_graphs
+        assert len(store) == 0  # nothing survives the sweep
+
+    def test_interrupt_mid_overlap_leaks_no_segments(self, monkeypatch):
+        """A KeyboardInterrupt while builds are overlapped with execution
+        must not leak shared-memory segments — including segments a worker
+        published that the parent never got to adopt."""
+        from repro.experiments import shm_available
+
+        if not shm_available():
+            pytest.skip("no shared memory here")
+        from multiprocessing import shared_memory
+
+        # record every segment name the runner promises to a worker
+        import repro.experiments.graphstore as gs
+
+        seen_names = []
+        orig_expect = gs.GraphStore.expect_segment
+        monkeypatch.setattr(
+            gs.GraphStore, "expect_segment",
+            lambda self, gkey, name: (seen_names.append(name),
+                                      orig_expect(self, gkey, name))[-1],
+        )
+
+        hits = {"n": 0}
+
+        def interrupting_progress(msg):
+            if "[" in msg:  # a trial completion line: builds are in flight
+                hits["n"] += 1
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(self._shared_spec(4, n=120), workers=2,
+                      progress=interrupting_progress)
+        assert hits["n"] == 1
+        assert seen_names  # the overlapped path really ran
+        for name in seen_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_worker_exception_mid_overlap_leaks_no_segments(self, monkeypatch):
+        """Same guarantee when a worker crashes: the error propagates and
+        every promised segment is reclaimed."""
+        from repro.experiments import shm_available
+
+        if not shm_available():
+            pytest.skip("no shared memory here")
+        from multiprocessing import shared_memory
+
+        import repro.experiments.graphstore as gs
+
+        seen_names = []
+        orig_expect = gs.GraphStore.expect_segment
+        monkeypatch.setattr(
+            gs.GraphStore, "expect_segment",
+            lambda self, gkey, name: (seen_names.append(name),
+                                      orig_expect(self, gkey, name))[-1],
+        )
+        # verification fails in the worker: luby_mis params are invalid
+        spec = SweepSpec(
+            "crash-overlap",
+            grid_scenarios(
+                families=[{"name": "forest_union", "n": 60, "a": 2}],
+                algorithms=[{"name": "cor46"},
+                            {"name": "cor46", "eta": "bogus"}],
+                seeds=[0, 1],
+            ),
+        )
+        with pytest.raises(Exception):
+            run_sweep(spec, workers=2)
+        assert seen_names
+        for name in seen_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_overlap_accounting_matches_prebuild(self):
+        spec = self._shared_spec(3)
+        overlapped = run_sweep(spec, workers=2)
+        prebuilt = run_sweep(spec, workers=2, overlap_builds=False)
+        assert overlapped.build_overlap
+        assert not prebuilt.build_overlap
+        assert (overlapped.graph_builds, overlapped.graph_reuses) == (
+            prebuilt.graph_builds, prebuilt.graph_reuses,
+        )
+        assert [t.metrics for t in overlapped] == [t.metrics for t in prebuilt]
+
+    def test_stage_timings_surface_build_overlap(self):
+        spec = self._shared_spec(2)
+        overlapped = run_sweep(spec, workers=2)
+        table = stage_timing_table(overlapped)
+        assert "overlapped with pool execution" in table
+        prebuilt = run_sweep(spec, workers=2, overlap_builds=False)
+        assert "built before dispatch" in stage_timing_table(prebuilt)
 
 
 class TestDefaultWorkers:
@@ -503,6 +670,37 @@ class TestSweepCLI:
     def test_sweep_no_shm_flag(self, tmp_path, capsys):
         out = self._run(capsys, "--no-cache", "--workers", "2", "--no-shm")
         assert "via shared memory" not in out
+
+    @staticmethod
+    def _shared_spec_file(tmp_path):
+        """Explicit seeds so the two algorithm cells share each graph."""
+        spec = SweepSpec(
+            "cli-overlap",
+            grid_scenarios(
+                families=[{"name": "tree", "n": 40}],
+                algorithms=[{"name": "cor46"}, {"name": "forests"}],
+                seeds=[0, 1],
+            ),
+        )
+        path = tmp_path / "overlap.json"
+        path.write_text(spec.to_json())
+        return str(path)
+
+    def test_sweep_no_overlap_flag(self, tmp_path, capsys):
+        rc = main(["sweep", "--spec", self._shared_spec_file(tmp_path),
+                   "--workers", "2", "--no-cache", "--no-overlap",
+                   "--stage-timings"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built before dispatch" in out
+        assert "overlapped" not in out
+
+    def test_sweep_summary_reports_build_overlap(self, tmp_path, capsys):
+        rc = main(["sweep", "--spec", self._shared_spec_file(tmp_path),
+                   "--workers", "2", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlapped with execution" in out
 
 
 @pytest.mark.slow

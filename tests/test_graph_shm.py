@@ -153,15 +153,140 @@ class TestLifecycle:
         assert source == "shm"
         assert gen.graph.shm_backed
         assert gen.n == 30
-        # drop the module-level attach cache's reference before unlinking
+        del gen
+        # close() unlinks the segment AND evicts this process's attach
+        # cache entry for it (no manual cache surgery needed)
         from repro.experiments import graphstore as gs
 
-        gs._ATTACHED.pop(name, None)
-        del gen
         store.close()
+        assert (name, ref.graph_key) not in gs._ATTACHED
         with pytest.raises(FileNotFoundError):
             Graph.from_shm(name)
         assert store.close() is None  # idempotent
+
+    def test_adopted_segment_is_owned_like_a_published_one(self):
+        """adopt_segment: the parent takes over a segment it did not build
+        (the overlapped scheduler's worker hand-off) — minting refs and
+        unlinking on close work exactly as for parent-published graphs."""
+        gen = forest_union(40, 2, seed=3)
+        trial = TrialSpec(family="forest_union", algorithm="cor46", seed=3,
+                          family_params={"n": 40, "a": 2})
+        gkey = trial.graph_key()
+        # "worker side": publish under a chosen name, drop the local map
+        seg = gen.graph.to_shm()
+        name = seg.name
+        seg.close()
+        # "parent side": adopt, mint, consume
+        store = GraphStore(use_shm=True)
+        store.adopt_segment(gkey, name, name=gen.name,
+                            arboricity_bound=gen.arboricity_bound,
+                            params=dict(gen.params), build_s=0.01)
+        assert store.builds == 1
+        assert store.build_s == pytest.approx(0.01)
+        ref = store.mint(gkey)
+        assert isinstance(ref, ShmGraphRef) and ref.shm_name == name
+        attached, source = resolve_graph(ref)
+        assert source == "shm"
+        assert attached.graph == gen.graph
+        # first mint consumed the build; the second is a reuse
+        store.mint(gkey)
+        assert (store.builds, store.reuses) == (1, 1)
+        del attached
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            Graph.from_shm(name)
+
+    def test_expected_but_unadopted_segments_are_reclaimed_on_close(self):
+        """A segment name promised to a worker whose build result never
+        came back (interrupt / pool crash mid-overlap) is unlinked by
+        close() even though the store never attached it."""
+        from multiprocessing import shared_memory
+
+        g = forest_union(30, 2, seed=0).graph
+        seg = g.to_shm()
+        name = seg.name
+        seg.close()  # the "worker" wrote it and went away
+        store = GraphStore(use_shm=True)
+        store.expect_segment("deadbeef", name)
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        # absent segments are fine too (worker died before to_shm)
+        store2 = GraphStore(use_shm=True)
+        store2.expect_segment("deadbeef", name)
+        store2.close()  # no raise
+
+
+class TestAttachCache:
+    """The worker-side attach cache must never serve a stale graph and must
+    not accumulate dead attachments across sweeps in a long-lived process."""
+
+    def _publish(self, gen, name=None):
+        seg = gen.graph.to_shm(name=name)
+        seg.close()
+        return ShmGraphRef(
+            graph_key=TrialSpec(
+                family=gen.name, algorithm="x", seed=0,
+                family_params=dict(gen.params),
+            ).graph_key(),
+            shm_name=seg.name,
+            name=gen.name,
+            arboricity_bound=gen.arboricity_bound,
+            params=dict(gen.params),
+        )
+
+    def test_recycled_segment_name_never_serves_stale_graph(self):
+        """If the OS hands a later sweep the same segment name for
+        *different* content, the content-keyed cache evicts the stale
+        attachment instead of serving it."""
+        from repro.experiments import graphstore as gs
+        from repro.experiments.graphstore import _unlink_segment
+
+        a = forest_union(40, 2, seed=0)
+        ref_a = self._publish(a)
+        try:
+            gen_a, _ = resolve_graph(ref_a)
+            assert gen_a.n == 40
+            # sweep 1 ends without evicting (simulating the old bug's
+            # environment: a long-lived process with a dirty cache)
+            _unlink_segment(ref_a.shm_name)
+            # sweep 2: the OS recycles the exact segment name for new bytes
+            b = random_tree(24, seed=9)
+            seg_b = b.graph.to_shm(name=ref_a.shm_name)
+            seg_b.close()
+            ref_b = ShmGraphRef(
+                graph_key="different-content-key",
+                shm_name=ref_a.shm_name,
+                name=b.name,
+                arboricity_bound=b.arboricity_bound,
+                params=dict(b.params),
+            )
+            gen_b, _ = resolve_graph(ref_b)
+            assert gen_b.n == 24  # the new graph, not the stale one
+            assert gen_b.graph == b.graph
+            # and the stale same-name entry was evicted, not retained
+            stale = [k for k in gs._ATTACHED
+                     if k[0] == ref_a.shm_name and k[1] == ref_a.graph_key]
+            assert stale == []
+        finally:
+            gs.detach_segments([ref_a.shm_name])
+            _unlink_segment(ref_a.shm_name)
+
+    def test_two_sweeps_do_not_accumulate_attachments(self):
+        """GraphStore.close() evicts this process's attach-cache entries
+        for its segments, so back-to-back sweeps leave no dead entries."""
+        from repro.experiments import graphstore as gs
+
+        before = dict(gs._ATTACHED)
+        for seed in (0, 1):
+            trial = TrialSpec(family="tree", algorithm="cor46", seed=seed,
+                              family_params={"n": 24})
+            with GraphStore(use_shm=True) as store:
+                ref = store.payload_graph(trial, for_pool=True)
+                gen, _ = resolve_graph(ref)
+                assert (ref.shm_name, ref.graph_key) in gs._ATTACHED
+                del gen
+        assert gs._ATTACHED == before  # nothing survived either sweep
 
 
 class TestStoreFallbacks:

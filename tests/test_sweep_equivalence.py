@@ -1,11 +1,14 @@
 """Acceptance: sweep records are byte-identical — same content keys, same
 metrics — across every execution path of the staged engine: serial (shared
 in-process store), parallel over shared memory, parallel over the pickle
-fallback, and rebuild-per-trial (the pre-staged engine's shape).
+fallback, rebuild-per-trial (the pre-staged engine's shape), and with
+shared-graph builds overlapped into the pool or prebuilt in the parent.
 
 Stage timings and provenance legitimately differ per path; they live
 outside ``metrics`` precisely so everything the cache and the aggregate
-reports consume cannot.
+reports consume cannot.  GraphStore build/reuse accounting, by contrast,
+must NOT differ per path — the same spec counts the same builds and reuses
+whichever transport or schedule ran it.
 """
 
 import pytest
@@ -56,17 +59,20 @@ class TestExecutionPathEquivalence:
         serial = run_sweep(spec)
         rebuild = run_sweep(spec, share_graphs=False)
         parallel_shm = run_sweep(spec, workers=2)
+        prebuilt_shm = run_sweep(spec, workers=2, overlap_builds=False)
         monkeypatch.setenv("REPRO_NO_SHM", "1")
         parallel_pickle = run_sweep(spec, workers=2)
+        prebuilt_pickle = run_sweep(spec, workers=2, overlap_builds=False)
         monkeypatch.delenv("REPRO_NO_SHM")
 
+        others = (rebuild, parallel_shm, prebuilt_shm, parallel_pickle,
+                  prebuilt_pickle)
         baseline = _fingerprint(serial)
-        assert _fingerprint(rebuild) == baseline
-        assert _fingerprint(parallel_shm) == baseline
-        assert _fingerprint(parallel_pickle) == baseline
+        for other in others:
+            assert _fingerprint(other) == baseline
         # and the aggregate presentation layer agrees byte for byte
         expected = report_table(serial)
-        for other in (rebuild, parallel_shm, parallel_pickle):
+        for other in others:
             assert report_table(other) == expected
 
         # each path really was the path it claims to be
@@ -74,12 +80,25 @@ class TestExecutionPathEquivalence:
         assert {t.graph_source for t in rebuild} == {"built"}
         if shm_available():
             assert {t.graph_source for t in parallel_shm} == {"shm"}
+            assert {t.graph_source for t in prebuilt_shm} == {"shm"}
         assert {t.graph_source for t in parallel_pickle} == {"pickled"}
+        assert {t.graph_source for t in prebuilt_pickle} == {"pickled"}
+        assert parallel_shm.build_overlap and parallel_pickle.build_overlap
+        assert not prebuilt_shm.build_overlap
+        assert not prebuilt_pickle.build_overlap
+        assert not serial.build_overlap and not rebuild.build_overlap
 
-        # the ablation shape: 4 algorithm cells share each unique graph
-        assert serial.graph_builds == 4  # 2 families x 2 seeds
-        assert serial.graph_reuses == serial.num_trials - 4
+        # the ablation shape: 4 algorithm cells share each unique graph —
+        # and the build/reuse accounting is identical across transports
+        # and schedules (4 graphs = 2 families x 2 seeds)
+        stores = (serial, parallel_shm, prebuilt_shm, parallel_pickle,
+                  prebuilt_pickle)
+        for res in stores:
+            assert res.graph_builds == 4
+            assert res.graph_reuses == res.num_trials - 4
+            assert res.graph_build_s > 0.0
         assert rebuild.graph_builds == 0
+        assert rebuild.graph_reuses == 0
 
     def test_cache_warmed_by_one_path_serves_every_other(self, tmp_path):
         spec = _spec()
@@ -90,6 +109,7 @@ class TestExecutionPathEquivalence:
             {},
             {"share_graphs": False},
             {"workers": 2},
+            {"workers": 2, "overlap_builds": False},
         ):
             again = run_sweep(spec, cache=ResultCache(cache_dir), **kwargs)
             assert again.hit_rate == 1.0

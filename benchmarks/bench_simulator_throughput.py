@@ -18,6 +18,12 @@ event-driven fast path on three activity profiles:
 Acceptance: both engines produce identical results, and the event engine
 is ≥2× faster on the sparse-activity sweep (in practice it is 10–100×;
 the flood rows document that dense-activity throughput stays comparable).
+
+A second test guards the telemetry spine's overhead contract: the
+instrumented scheduler with telemetry *disabled* must stay within 3% of
+``legacy_network.LegacySynchronousNetwork``, a frozen copy of the
+scheduler from before the telemetry hooks existed (the same A/B idiom as
+``legacy_graph`` for the CSR core).
 """
 
 from __future__ import annotations
@@ -26,9 +32,11 @@ import time
 
 import perf_record
 from conftest import cached_forest_union
+from legacy_network import LegacySynchronousNetwork
 from repro import SynchronousNetwork
 from repro.analysis import emit, render_table
 from repro.core import greedy_reduction, luby_coloring, mis_arboricity
+from repro.obs import RoundTelemetry
 
 A = 3
 
@@ -122,6 +130,110 @@ def test_simulator_throughput(benchmark):
             gen.graph.n,
             target,
         ),
+        iterations=1,
+        rounds=1,
+    )
+
+
+def _best_of(k, fn):
+    """Best-of-k wall time: the min filters out scheduler hiccups."""
+    out, best = None, None
+    for _ in range(k):
+        out, seconds = _timed(fn)
+        best = seconds if best is None else min(best, seconds)
+    return out, best
+
+
+def _with_telemetry(net, tel):
+    """Attach a telemetry sink to every ``run`` of a network instance."""
+    orig = net.run
+
+    def run(*args, **kwargs):
+        kwargs.setdefault("telemetry", tel)
+        return orig(*args, **kwargs)
+
+    net.run = run
+    return net
+
+
+def test_telemetry_overhead(benchmark):
+    """Telemetry-disabled scheduler within 3% of the pre-telemetry copy.
+
+    A/B against ``LegacySynchronousNetwork`` (frozen before the telemetry
+    hooks landed) on the sparse-sweep and dense-flood workloads; the gated
+    ratio is total legacy time over total current time with telemetry off.
+    Also records the enabled/disabled ratio for context (never gated).
+    """
+    gen, _ = cached_forest_union(400, A, seed=3500)
+    graph = gen.graph
+    target = graph.max_degree + 1
+    workloads = [
+        (
+            "sweep",
+            lambda net: greedy_reduction(
+                net, {v: v for v in graph.vertices}, graph.n, target
+            ),
+        ),
+        ("flood", lambda net: luby_coloring(net, seed=4)),
+    ]
+    rows = []
+    legacy_total = disabled_total = enabled_total = 0.0
+    for name, workload in workloads:
+        legacy_out, legacy_s = _best_of(
+            5, lambda: workload(LegacySynchronousNetwork(graph, scheduler="event"))
+        )
+        disabled_out, disabled_s = _best_of(
+            5, lambda: workload(SynchronousNetwork(graph, scheduler="event"))
+        )
+        enabled_out, enabled_s = _best_of(
+            5,
+            lambda: workload(
+                _with_telemetry(
+                    SynchronousNetwork(graph, scheduler="event"), RoundTelemetry()
+                )
+            ),
+        )
+        assert legacy_out == disabled_out == enabled_out, (
+            f"{name}: instrumented scheduler diverges from the frozen copy"
+        )
+        legacy_total += legacy_s
+        disabled_total += disabled_s
+        enabled_total += enabled_s
+        rows.append(
+            [
+                name,
+                graph.n,
+                f"{1e3 * legacy_s:.1f}",
+                f"{1e3 * disabled_s:.1f}",
+                f"{1e3 * enabled_s:.1f}",
+                f"{legacy_s / disabled_s:.3f}x",
+            ]
+        )
+    disabled_ratio = legacy_total / disabled_total
+    enabled_ratio = disabled_total / enabled_total
+    emit(
+        render_table(
+            "S4 — telemetry overhead: frozen pre-telemetry scheduler vs. current",
+            ["workload", "n", "legacy ms", "disabled ms", "enabled ms", "ratio"],
+            rows,
+            note="ratio = legacy/disabled best-of-5 wall time; the disabled "
+            "path must stay within 3% of the frozen copy (floor 0.97)",
+        ),
+        "s4_telemetry_overhead.txt",
+    )
+    perf_record.add_metrics(
+        "simulator_throughput",
+        telemetry_disabled_vs_legacy_speedup=round(disabled_ratio, 3),
+        telemetry_enabled_vs_disabled_ratio=round(enabled_ratio, 3),
+    )
+    # Acceptance: instrumented-but-disabled within 3% of pre-instrumentation.
+    assert disabled_ratio >= 0.97, (
+        f"telemetry-disabled scheduler at {disabled_ratio:.3f}x of the frozen "
+        "pre-telemetry copy (floor 0.97)"
+    )
+
+    benchmark.pedantic(
+        lambda: luby_coloring(SynchronousNetwork(graph), seed=4),
         iterations=1,
         rounds=1,
     )

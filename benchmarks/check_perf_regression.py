@@ -4,7 +4,7 @@
 Usage::
 
     python benchmarks/check_perf_regression.py CURRENT.json BASELINE.json \
-        [--tolerance 0.15]
+        [--tolerance 0.15] [--only METRIC ...]
 
 Compares every *ratio* metric (name ending in ``_speedup``) present in the
 baseline's ``metrics`` against the current record and exits non-zero when
@@ -13,6 +13,23 @@ any regresses by more than the tolerance — i.e. when
 measurements taken in the same process on the same machine, so they are
 comparable across machines; absolute wall times and throughputs are
 reported for context but never gated.
+
+Topology-aware skipping: a baseline may declare some of its gated metrics
+``parallelism_dependent`` (a list of metric names) together with a
+``topology.min_cores`` requirement.  When the current record was measured
+on a box with fewer cores, those floors are *skipped* — visibly, with a
+GitHub Actions warning annotation when running in CI — instead of tripping
+on machine shape rather than regression (the ``overlap_vs_*`` speedups
+are meaningless on a 2-worker box when the floor was calibrated on 4
+cores).  Every BENCH record carries its host shape in a ``topology``
+block (see ``perf_record.topology``).
+
+Absolute floors: a baseline may also declare ``floors`` (metric name →
+minimum value) gated *without* tolerance — used for the telemetry
+overhead gate, where the floor (0.97) already encodes the allowance.
+
+``--only`` restricts gating to the named metrics (still honoring skip
+rules) so CI can surface a specific gate as its own step.
 
 The committed baselines under ``benchmarks/baselines/`` hold conservative
 floors (below what healthy CI runners measure), so the CI gate trips on
@@ -32,10 +49,40 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 GATED_SUFFIXES = ("_speedup",)
 CONTEXT_KEYS = ("sweep_rounds_nodes_per_s", "wall_s", "cache_hit_rate")
+
+
+def _measured_cores(current: dict) -> int:
+    """Cores of the box the current record was measured on."""
+    topo = current.get("topology") or {}
+    cores = topo.get("cpu_count")
+    if isinstance(cores, int) and cores >= 1:
+        return cores
+    return os.cpu_count() or 1
+
+
+def _required_cores(baseline: dict) -> int:
+    """Core requirement for the baseline's parallelism-dependent floors."""
+    topo = baseline.get("topology") or {}
+    req = topo.get("min_cores", topo.get("cpu_count"))
+    if isinstance(req, int) and req >= 1:
+        return req
+    return 1
+
+
+def _announce_skip(name: str, measured: int, required: int) -> None:
+    msg = (
+        f"perf gate: skipped {name} — measured on {measured} core(s), "
+        f"floor calibrated for >= {required}"
+    )
+    print(f"SKIP {name}: {measured} < {required} core(s)")
+    if os.environ.get("GITHUB_ACTIONS"):
+        # a visible annotation on the workflow run, not just a log line
+        print(f"::warning title=perf gate skipped::{msg}")
 
 
 def main(argv=None) -> int:
@@ -49,6 +96,13 @@ def main(argv=None) -> int:
         help="allowed fractional regression before failing (default 0.15, "
         "i.e. the gate trips before a regression reaches 20%%)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="METRIC",
+        help="gate only the named metric(s); repeatable",
+    )
     args = parser.parse_args(argv)
 
     with open(args.current) as fh:
@@ -58,13 +112,25 @@ def main(argv=None) -> int:
 
     cur_metrics = current.get("metrics", {})
     base_metrics = baseline.get("metrics", {})
+    parallel_dependent = set(baseline.get("parallelism_dependent", []))
+    floors = baseline.get("floors", {})
+    measured = _measured_cores(current)
+    required = _required_cores(baseline)
+    only = set(args.only) if args.only else None
 
     failures = []
     checked = 0
+    skipped = 0
     for name, base_val in sorted(base_metrics.items()):
         if not name.endswith(GATED_SUFFIXES):
             continue
+        if only is not None and name not in only:
+            continue
         if not isinstance(base_val, (int, float)) or base_val <= 0:
+            continue
+        if name in parallel_dependent and measured < required:
+            _announce_skip(name, measured, required)
+            skipped += 1
             continue
         cur_val = cur_metrics.get(name)
         floor = (1.0 - args.tolerance) * base_val
@@ -82,19 +148,43 @@ def main(argv=None) -> int:
                 f"{name}: {cur_val:.3f} < {floor:.3f} "
                 f"(baseline {base_val:.3f} - {args.tolerance:.0%})"
             )
+    for name, floor in sorted(floors.items()):
+        if only is not None and name not in only:
+            continue
+        if not isinstance(floor, (int, float)):
+            continue
+        if name in parallel_dependent and measured < required:
+            _announce_skip(name, measured, required)
+            skipped += 1
+            continue
+        cur_val = cur_metrics.get(name)
+        if not isinstance(cur_val, (int, float)):
+            failures.append(f"{name}: missing from the current record")
+            continue
+        checked += 1
+        status = "OK " if cur_val >= floor else "FAIL"
+        print(
+            f"{status} {name}: current={cur_val:.3f} "
+            f"absolute floor={floor:.3f}"
+        )
+        if cur_val < floor:
+            failures.append(f"{name}: {cur_val:.3f} < {floor:.3f} (absolute)")
     for key in CONTEXT_KEYS:
         if key in cur_metrics:
             print(f"info {key}: {cur_metrics[key]}")
 
-    if not checked and not failures:
-        print("error: baseline contains no gated *_speedup metrics")
+    if not checked and not skipped and not failures:
+        print("error: baseline contains no gated *_speedup metrics or floors")
         return 2
     if failures:
         print(f"\nperf regression gate FAILED ({len(failures)}):")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print(f"\nperf regression gate passed ({checked} metric(s) checked)")
+    summary = f"perf regression gate passed ({checked} metric(s) checked"
+    if skipped:
+        summary += f", {skipped} skipped on topology"
+    print(f"\n{summary})")
     return 0
 
 

@@ -1,0 +1,298 @@
+"""Frozen pre-telemetry copy of the round scheduler, for overhead gating.
+
+This is the simulator's ``SynchronousNetwork.run`` exactly as it stood
+before the telemetry spine was threaded through the hot loop (same
+mechanism as ``legacy_graph.py``: preserve the old implementation so the
+perf claim stays measurable *after* the change lands).
+``bench_simulator_throughput.py`` runs identical workloads through this
+engine and the instrumented one with telemetry disabled, and gates the
+ratio: the disabled path must stay within a few percent of this baseline.
+
+Do not modify this file when changing the live scheduler — that would
+silently re-baseline the overhead gate.  It reuses the live
+:class:`~repro.simulator.network.RunResult` so results from both engines
+compare equal with plain dataclass ``==``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import RoundLimitExceeded, SimulationError
+from repro.graphs.graph import Graph
+from repro.simulator import NodeContext, NodeProgram, payload_size
+from repro.simulator.network import RunResult
+from repro.types import Vertex
+
+ProgramFactory = Callable[[], NodeProgram]
+
+DEFAULT_ROUND_LIMIT_FACTOR = 50
+
+SCHEDULERS = ("event", "dense")
+
+
+class LegacySynchronousNetwork:
+    """The scheduler as it was before telemetry instrumentation."""
+
+    def __init__(self, graph: Graph, scheduler: str = "event"):
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        self.graph = graph
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program_factory: ProgramFactory,
+        *,
+        global_params: Optional[Mapping[str, Any]] = None,
+        participants: Optional[Iterable[Vertex]] = None,
+        part_of: Optional[Mapping[Vertex, Any]] = None,
+        round_limit: Optional[int] = None,
+        count_bytes: bool = False,
+        trace=None,
+        scheduler: Optional[str] = None,
+    ) -> RunResult:
+        mode = scheduler if scheduler is not None else self.scheduler
+        if mode not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {mode!r}; expected one of {SCHEDULERS}"
+            )
+        graph = self.graph
+        if participants is None:
+            order: Tuple[Vertex, ...] = graph.vertices
+            active_set = None
+        else:
+            active_set = set(participants)
+            for v in active_set:
+                if not graph.has_vertex(v):
+                    raise SimulationError(f"participant {v} is not a vertex")
+            order = tuple(sorted(active_set))
+        if round_limit is None:
+            round_limit = DEFAULT_ROUND_LIMIT_FACTOR * max(1, graph.n) + 1000
+
+        gp: Dict[str, Any] = dict(global_params or {})
+        gp.setdefault("n", graph.n)
+
+        S = len(order)
+        full = active_set is None or len(active_set) == graph.n
+        identity = full and getattr(graph, "ids_contiguous", False)
+        rank: Optional[Dict[Vertex, int]] = (
+            None if identity else {v: i for i, v in enumerate(order)}
+        )
+
+        contexts: List[NodeContext] = []
+        programs: List[NodeProgram] = []
+        for v in order:
+            if part_of is not None:
+                label = part_of.get(v)
+                visible = tuple(
+                    u
+                    for u in graph.neighbors(v)
+                    if (active_set is None or u in active_set)
+                    and part_of.get(u) == label
+                )
+                ctx = NodeContext(v, visible, gp)
+            elif not full:
+                visible = tuple(
+                    u for u in graph.neighbors(v) if u in active_set
+                )
+                ctx = NodeContext(v, visible, gp)
+            else:
+                ctx = NodeContext(v, graph.neighbors(v), gp)
+            contexts.append(ctx)
+            programs.append(program_factory())
+
+        running = bytearray(b"\x01") * S
+        running_count = S
+        messages = 0
+        message_bytes = 0
+        max_message_bytes = 0
+        pending: Dict[int, Dict[Vertex, Any]] = {}
+
+        current_round = 0
+        slow_path = count_bytes or trace is not None
+
+        def dispatch_slow(sender: Vertex, outbox) -> None:
+            nonlocal messages, message_bytes, max_message_bytes
+            for dest, payload in outbox:
+                messages += 1
+                if count_bytes:
+                    size = payload_size(payload)
+                    message_bytes += size
+                    if size > max_message_bytes:
+                        max_message_bytes = size
+                if trace is not None:
+                    trace.record(current_round, sender, dest, payload)
+                slot = dest if rank is None else rank[dest]
+                box = pending.get(slot)
+                if box is None:
+                    box = pending[slot] = {}
+                box[sender] = payload
+
+        awake = set(range(S))
+        wake_round: Dict[int, int] = {}
+        wake_heap: List[Tuple[int, int]] = []  # (round, slot)
+        heappush = heapq.heappush
+
+        for slot in range(S):
+            ctx = contexts[slot]
+            programs[slot].on_start(ctx)
+            outbox = ctx._outbox
+            if outbox:
+                ctx._outbox = []
+                if slow_path:
+                    dispatch_slow(ctx.node, outbox)
+                else:
+                    messages += len(outbox)
+                    sender = ctx.node
+                    for dest, payload in outbox:
+                        dslot = dest if rank is None else rank[dest]
+                        box = pending.get(dslot)
+                        if box is None:
+                            box = pending[dslot] = {}
+                        box[sender] = payload
+            if mode == "event":
+                idle = ctx._idle_requested
+                wake = ctx._wake_round
+                if idle:
+                    ctx._idle_requested = False
+                if wake is not None:
+                    ctx._wake_round = None
+                if not ctx.halted:
+                    if idle:
+                        awake.discard(slot)
+                    else:
+                        awake.add(slot)
+                    if wake is not None:
+                        wake_round[slot] = wake
+                        heappush(wake_heap, (wake, slot))
+            else:
+                ctx._idle_requested = False
+                ctx._wake_round = None
+            if ctx.halted:
+                running[slot] = 0
+                running_count -= 1
+                awake.discard(slot)
+
+        rounds = 0
+        if mode == "dense":
+            while running_count:
+                if rounds >= round_limit:
+                    raise RoundLimitExceeded(round_limit, running_count)
+                rounds += 1
+                current_round = rounds
+                delivery = pending
+                pending = {}
+                for slot in range(S):
+                    if not running[slot]:
+                        continue
+                    ctx = contexts[slot]
+                    ctx.inbox = delivery.get(slot, {})
+                    ctx.round_number = rounds
+                    programs[slot].on_round(ctx)
+                    outbox = ctx._outbox
+                    if outbox:
+                        ctx._outbox = []
+                        if slow_path:
+                            dispatch_slow(ctx.node, outbox)
+                        else:
+                            messages += len(outbox)
+                            sender = ctx.node
+                            for dest, payload in outbox:
+                                dslot = dest if rank is None else rank[dest]
+                                box = pending.get(dslot)
+                                if box is None:
+                                    box = pending[dslot] = {}
+                                box[sender] = payload
+                    ctx._idle_requested = False
+                    ctx._wake_round = None
+                for slot in range(S):
+                    if running[slot] and contexts[slot].halted:
+                        running[slot] = 0
+                        running_count -= 1
+        else:
+            while running_count:
+                if awake or pending:
+                    next_round = rounds + 1
+                else:
+                    next_round = None
+                    while wake_heap:
+                        r, slot = wake_heap[0]
+                        if running[slot] and wake_round.get(slot) == r:
+                            next_round = max(r, rounds + 1)
+                            break
+                        heapq.heappop(wake_heap)  # stale entry
+                    if next_round is None:
+                        raise RoundLimitExceeded(round_limit, running_count)
+                if next_round > round_limit:
+                    raise RoundLimitExceeded(round_limit, running_count)
+                rounds = next_round
+                current_round = rounds
+                delivery = pending
+                pending = {}
+                cand = set(awake)
+                for slot in delivery:
+                    if running[slot]:
+                        cand.add(slot)
+                while wake_heap and wake_heap[0][0] <= rounds:
+                    r, slot = heapq.heappop(wake_heap)
+                    if running[slot] and wake_round.get(slot) == r:
+                        cand.add(slot)
+                if len(cand) * 4 < S:
+                    schedule = sorted(cand)
+                else:
+                    schedule = (s for s in range(S) if s in cand)
+                for slot in schedule:
+                    ctx = contexts[slot]
+                    wake_round.pop(slot, None)
+                    ctx.inbox = delivery.get(slot, {})
+                    ctx.round_number = rounds
+                    programs[slot].on_round(ctx)
+                    outbox = ctx._outbox
+                    if outbox:
+                        ctx._outbox = []
+                        if slow_path:
+                            dispatch_slow(ctx.node, outbox)
+                        else:
+                            messages += len(outbox)
+                            sender = ctx.node
+                            for dest, payload in outbox:
+                                dslot = dest if rank is None else rank[dest]
+                                box = pending.get(dslot)
+                                if box is None:
+                                    box = pending[dslot] = {}
+                                box[sender] = payload
+                    idle = ctx._idle_requested
+                    wake = ctx._wake_round
+                    if idle:
+                        ctx._idle_requested = False
+                    if wake is not None:
+                        ctx._wake_round = None
+                    if not ctx.halted:
+                        if idle:
+                            awake.discard(slot)
+                        else:
+                            awake.add(slot)
+                        if wake is not None:
+                            wake_round[slot] = wake
+                            heappush(wake_heap, (wake, slot))
+                for slot in cand:
+                    if contexts[slot].halted:
+                        if running[slot]:
+                            running[slot] = 0
+                            running_count -= 1
+                        awake.discard(slot)
+                        wake_round.pop(slot, None)
+
+        outputs = {ctx.node: ctx.output for ctx in contexts}
+        return RunResult(
+            outputs=outputs,
+            rounds=rounds,
+            messages=messages,
+            message_bytes=message_bytes,
+            max_message_bytes=max_message_bytes,
+        )

@@ -59,6 +59,22 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+def topology() -> Dict[str, Any]:
+    """The host-shape block embedded in every record.
+
+    Parallelism-dependent ratio metrics (``overlap_vs_*``) only mean
+    something relative to a machine shape; recording it lets
+    ``check_perf_regression.py`` skip those floors on smaller boxes
+    instead of tripping on topology rather than regression.
+    """
+    try:
+        from repro.obs.topology import topology as _topo
+
+        return _topo()
+    except Exception:  # never fail a perf record over the probe
+        return {"cpu_count": os.cpu_count() or 1}
+
+
 def _entry(bench: str) -> Dict[str, Any]:
     return _PENDING.setdefault(bench, {"metrics": {}, "tests": {}})
 
@@ -102,6 +118,7 @@ def record(bench: str, extra: Optional[Dict[str, Any]] = None) -> str:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "wall_s": round(sum(tests.values()), 4),
+        "topology": topology(),
         "tests": dict(sorted(tests.items())),
         "metrics": state["metrics"],
     }

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Render per-metric perf trajectories from accumulated ``BENCH_*.json``.
+
+Usage::
+
+    python benchmarks/report_trends.py benchmarks/baselines/BENCH_*.json \
+        results/BENCH_*.json [--output results/TRENDS.md]
+
+Each input is one perf record (see ``perf_record.py``).  Records are
+grouped by their ``bench`` name and ordered by timestamp — committed
+baselines carry no timestamp and sort first, labeled ``baseline`` — and
+every numeric metric gets one trajectory row: a unicode sparkline over
+the observed values, the first and latest value, the delta of the latest
+run against the previous one, and the short git sha of the latest run.
+
+The script is standalone on purpose (stdlib only, no ``repro`` imports):
+CI runs it against downloaded artifact directories where the package may
+not be importable, and so can anyone with a pile of BENCH files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Min-max scaled sparkline; a flat or single-point series shows mid."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_CHARS[3] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+        out.append(SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def load_records(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    records = []
+    for path in paths:
+        try:
+            with open(path) as fh:
+                rec = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"report_trends: skipping {path}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(rec, dict) and rec.get("bench"):
+            rec["_path"] = path
+            records.append(rec)
+    return records
+
+
+def _label(rec: Dict[str, Any]) -> str:
+    if not rec.get("timestamp"):
+        return "baseline"
+    sha = rec.get("git_sha", "unknown")
+    return sha[:10] if sha and sha != "unknown" else "unknown"
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.4g}"
+
+
+def _delta(prev: Optional[float], last: float) -> str:
+    if prev is None or prev == 0:
+        return "-"
+    pct = 100.0 * (last - prev) / abs(prev)
+    sign = "+" if pct >= 0 else ""
+    return f"{sign}{pct:.1f}%"
+
+
+def trend_rows(records: List[Dict[str, Any]]) -> List[List[str]]:
+    """One row per (bench, metric): sparkline + first/latest/delta/sha."""
+    # baselines (no timestamp) first, then chronological
+    ordered = sorted(
+        records, key=lambda r: (bool(r.get("timestamp")), r.get("timestamp") or "")
+    )
+    metrics: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in ordered:
+        metrics.setdefault(rec["bench"], []).append(rec)
+    rows: List[List[str]] = []
+    for bench in sorted(metrics):
+        series = metrics[bench]
+        names: List[str] = []
+        for rec in series:
+            for name, val in rec.get("metrics", {}).items():
+                if (
+                    isinstance(val, (int, float))
+                    and not isinstance(val, bool)
+                    and name not in names
+                ):
+                    names.append(name)
+        for name in sorted(names):
+            points = [
+                (float(rec["metrics"][name]), rec)
+                for rec in series
+                if isinstance(rec.get("metrics", {}).get(name), (int, float))
+                and not isinstance(rec["metrics"].get(name), bool)
+            ]
+            if not points:
+                continue
+            values = [v for v, _ in points]
+            prev = values[-2] if len(values) >= 2 else None
+            rows.append(
+                [
+                    bench,
+                    name,
+                    sparkline(values),
+                    _fmt(values[0]),
+                    _fmt(values[-1]),
+                    _delta(prev, values[-1]),
+                    str(len(values)),
+                    _label(points[-1][1]),
+                ]
+            )
+    return rows
+
+
+HEADERS = ["bench", "metric", "trend", "first", "latest", "delta", "runs", "latest run"]
+
+
+def render_markdown(rows: List[List[str]]) -> str:
+    lines = ["# Perf trends", ""]
+    if not rows:
+        lines.append("_no numeric metrics found in the given records_")
+        return "\n".join(lines) + "\n"
+    lines.append("| " + " | ".join(HEADERS) + " |")
+    lines.append("|" + "|".join("---" for _ in HEADERS) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append(
+        "_trend is min-max scaled per row, oldest to newest; baselines "
+        "(committed floors, no timestamp) sort first; delta compares the "
+        "latest run to the previous point._"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("records", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the markdown report here as well as stdout",
+    )
+    args = parser.parse_args(argv)
+
+    records = load_records(args.records)
+    if not records:
+        print("report_trends: no readable BENCH records", file=sys.stderr)
+        return 1
+    report = render_markdown(trend_rows(records))
+    print(report, end="")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        print(f"report_trends: wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

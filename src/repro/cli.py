@@ -9,6 +9,8 @@ without writing code::
     python -m repro families
     python -m repro sweep --report
     python -m repro sweep --spec my_sweep.json --workers 8
+    python -m repro sweep --workers 4 --trace sweep-trace.jsonl
+    python -m repro report trace sweep-trace.jsonl
 
 Output is a small plain-text report: the instance, the result (colors /
 set size / decomposition stats), the round count, and the verification
@@ -265,6 +267,7 @@ def _cmd_sweep(args) -> int:
             progress=print,
             use_shm=False if args.no_shm else None,
             overlap_builds=not args.no_overlap,
+            trace=args.trace,
         )
     except InvalidParameterError as exc:
         raise SystemExit(str(exc))
@@ -303,6 +306,22 @@ def _cmd_sweep(args) -> int:
             f"{result.graph_build_s:.2f}s build wall), "
             f"{result.graph_reuses} reuse(s)"
         )
+    if args.trace:
+        print(
+            f"sweep: trace appended to {args.trace} "
+            f"(summarize with `repro report trace {args.trace}`)"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import render_trace_report
+
+    if args.kind == "trace":
+        try:
+            print(render_trace_report(args.path))
+        except OSError as exc:
+            raise SystemExit(f"cannot read trace: {exc}")
     return 0
 
 
@@ -381,7 +400,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "dispatch instead of overlapping builds with pool "
                          "execution (the pre-overlap engine's shape, kept "
                          "for A/B timing; records are identical either way)")
+    p_sweep.add_argument("--trace", default=None, metavar="PATH",
+                         help="append structured JSONL trace spans (stages, "
+                         "GraphStore lifecycle, cache hits/misses, pool "
+                         "dispatch) to PATH; summarize with "
+                         "`repro report trace PATH`")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report", help="summarize observability artifacts"
+    )
+    p_report.add_argument("kind", choices=["trace"],
+                          help="artifact type (currently: trace)")
+    p_report.add_argument("path", help="path to a sweep trace JSONL file")
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 

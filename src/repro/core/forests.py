@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..simulator.context import NodeContext
+from ..simulator.ledger import RoundLedger
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
 from ..types import (
@@ -129,10 +130,14 @@ def forests_decomposition(
         algorithm="forests-decomposition-orientation",
         params={"a": a, "epsilon": epsilon},
     )
+    ledger = RoundLedger()
+    ledger.add("hpartition", hpartition.rounds)
+    ledger.add_run("forest_labeling", result)
     return ForestsDecomposition(
         forest_of=forest_of,
         orientation=orientation,
         num_forests=num_forests,
         rounds=hpartition.rounds + result.rounds,
         params={"a": a, "epsilon": epsilon, "degree_bound": hpartition.degree_bound},
+        ledger=ledger,
     )

@@ -18,6 +18,7 @@ import random
 from typing import Callable, Optional, Set
 
 from ..simulator.context import NodeContext
+from ..simulator.ledger import RoundLedger
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
 from ..types import ColorAssignment, MISResult, Vertex
@@ -111,6 +112,9 @@ def mis_arboricity(
     sweep = mis_from_coloring(
         network, coloring, participants=participants, part_of=part_of
     )
+    ledger = RoundLedger()
+    ledger.add("coloring_thm43", coloring.rounds)
+    ledger.add("color_class_sweep", sweep.rounds)
     return MISResult(
         members=sweep.members,
         rounds=coloring.rounds + sweep.rounds,
@@ -122,6 +126,7 @@ def mis_arboricity(
             "sweep_rounds": sweep.rounds,
             "num_colors": coloring.num_colors,
         },
+        ledger=ledger,
     )
 
 

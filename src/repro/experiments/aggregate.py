@@ -191,12 +191,15 @@ def stage_timing_table(
     Unlike :func:`report_table` this is *deliberately* machine- and
     run-dependent — it answers "where does the wall clock go" (graph build
     vs. algorithm vs. verification), the question the staged engine exists
-    for.  Trials served from a pre-staged cache record carry no stage
-    timings and are excluded from the means (the ``timed`` column says how
-    many contributed).
+    for.  Most cache hits carry the stage timings of the run that computed
+    them and contribute to the means like fresh trials; records written
+    before the staged engine have no ``stages`` at all and are rendered as
+    cached rows rather than dropped or zero-filled: they count in
+    ``trials`` and ``cached`` but not in ``timed``, and a group with no
+    timed trial shows ``-`` for every mean instead of fabricated zeros.
     """
     groups = summarize(sweep.results, by=by)
-    headers = list(by) + ["trials", "timed"]
+    headers = list(by) + ["trials", "timed", "cached"]
     headers += [f"{s} ms" for s in STAGES] + ["total ms"]
     rows = []
     for g in groups:
@@ -204,6 +207,7 @@ def stage_timing_table(
         row: List[object] = [g.group[f] for f in by]
         row.append(g.count)
         row.append(len(timed))
+        row.append(sum(1 for t in g.trials if t.cached))
         total = 0.0
         for stage in STAGES:
             if timed:
@@ -216,7 +220,9 @@ def stage_timing_table(
         rows.append(row)
     note = (
         "mean wall time per trial stage (machine-dependent; cached "
-        "records keep the timings of the run that computed them)"
+        "records keep the timings of the run that computed them; "
+        "pre-staged cache records carry no timings and show as cached, "
+        "untimed rows)"
     )
     if sweep.graph_builds:
         mode = (

@@ -197,6 +197,12 @@ class GraphStore:
     use_shm:
         ``True``/``False`` forces the transport; ``None`` (default) uses
         shared memory when it is available and ``REPRO_NO_SHM`` is unset.
+    on_event:
+        Optional callback ``(event, **fields)`` fired for every lifecycle
+        transition (``build``, ``publish``, ``expect``, ``adopt``,
+        ``mint``, ``evict``, ``close``).  The sweep runner wires this to
+        its JSONL trace writer; the store only ever calls it from the
+        parent process, so a single-writer trace stays single-writer.
 
     Accounting (identical across transports by construction):
 
@@ -210,10 +216,11 @@ class GraphStore:
       worker-side copies behind them are not in-process copies).
     """
 
-    def __init__(self, use_shm: Optional[bool] = None):
+    def __init__(self, use_shm: Optional[bool] = None, on_event=None):
         if use_shm is None:
             use_shm = shm_available() and not _no_shm_requested()
         self.use_shm = bool(use_shm)
+        self._on_event = on_event
         self._graphs: Dict[str, GeneratedGraph] = {}
         self._segments: Dict[str, object] = {}  # graph_key -> SharedMemory
         #: graph_key -> (name, arboricity_bound, params) of published graphs,
@@ -231,6 +238,10 @@ class GraphStore:
 
     def __len__(self) -> int:
         return len(self._graphs)
+
+    def _note(self, event: str, **fields) -> None:
+        if self._on_event is not None:
+            self._on_event(event, **fields)
 
     # -- accounting ------------------------------------------------------
     def _count_use(self, gkey: str) -> None:
@@ -252,10 +263,14 @@ class GraphStore:
         if gen is None:
             t0 = time.perf_counter()
             gen = build_instance(trial)
-            self.build_s += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            self.build_s += dt
             self._graphs[gkey] = gen
             self.builds += 1
             self._track_live()
+            self._note(
+                "build", graph=gkey[:12], build_s=round(dt, 6), where="parent"
+            )
         return gen
 
     def get(self, trial: TrialSpec) -> GeneratedGraph:
@@ -279,6 +294,7 @@ class GraphStore:
             self._segments[gkey] = seg
             self._meta[gkey] = (gen.name, gen.arboricity_bound, dict(gen.params))
             self.discard(gkey)
+            self._note("publish", graph=gkey[:12], segment=seg.name)
         return seg.name
 
     # -- worker-built graphs (the overlapped scheduler's hand-off) --------
@@ -290,6 +306,7 @@ class GraphStore:
         parent's adoption leaks nothing.
         """
         self._expected[gkey] = shm_name
+        self._note("expect", graph=gkey[:12], segment=shm_name)
 
     def adopt_segment(
         self,
@@ -318,6 +335,13 @@ class GraphStore:
         self._meta[gkey] = (name, int(arboricity_bound), dict(params))
         self.builds += 1
         self.build_s += build_s
+        self._note(
+            "adopt",
+            graph=gkey[:12],
+            segment=shm_name,
+            transport="shm",
+            build_s=round(build_s, 6),
+        )
 
     def adopt_graph(
         self, gkey: str, gen: GeneratedGraph, build_s: float = 0.0
@@ -328,6 +352,12 @@ class GraphStore:
         self.builds += 1
         self.build_s += build_s
         self._track_live()
+        self._note(
+            "adopt",
+            graph=gkey[:12],
+            transport="pickle",
+            build_s=round(build_s, 6),
+        )
 
     # -- consumers ---------------------------------------------------------
     def mint(self, gkey: str) -> object:
@@ -381,7 +411,8 @@ class GraphStore:
         payload, so a long sweep holds only the shared graphs still ahead
         of it instead of every unique graph it ever built.
         """
-        self._graphs.pop(gkey, None)
+        if self._graphs.pop(gkey, None) is not None:
+            self._note("evict", graph=gkey[:12])
 
     def close(self) -> None:
         """Release every owned segment (close + unlink), reclaim every
@@ -405,6 +436,10 @@ class GraphStore:
             names.append(name)
             _unlink_segment(name)
         detach_segments(names)
+        if segments or expected:
+            self._note(
+                "close", segments=len(segments), reclaimed=len(expected)
+            )
 
     def __enter__(self) -> "GraphStore":
         return self

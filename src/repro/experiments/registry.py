@@ -362,7 +362,9 @@ def execute_trial(
     """Run one trial's four stages and return its cacheable record.
 
     The record is ``{"key", "trial", "metrics", "elapsed_s", "stages",
-    "provenance"}``; ``metrics`` always includes the instance's size
+    "provenance"}`` plus ``phases`` (the serialized
+    :class:`~repro.simulator.ledger.RoundLedger` breakdown) when the
+    algorithm reports one; ``metrics`` always includes the instance's size
     statistics so aggregation never has to rebuild the graph.  Wall times
     (``elapsed_s``, the per-stage ``stages`` dict) and ``provenance`` are
     kept outside ``metrics`` because they are machine- and transport-
@@ -400,7 +402,7 @@ def execute_trial(
     # elapsed_s is the sum of the *recorded* (rounded) stage times, so the
     # two fields in a record are always exactly consistent
     recorded = {name: round(stages[name], 6) for name in STAGES}
-    return {
+    record = {
         "key": trial.key(),
         "trial": trial.to_dict(),
         "metrics": metrics,
@@ -408,6 +410,13 @@ def execute_trial(
         "stages": recorded,
         "provenance": {"graph_source": graph_source, "pid": os.getpid()},
     }
+    # Composite algorithms attach a RoundLedger; serialize the phase
+    # breakdown next to metrics, never inside (phases are deterministic,
+    # but the metrics dict is the pinned cross-path comparison surface).
+    ledger = getattr(result, "ledger", None)
+    if ledger is not None and getattr(ledger, "phases", None):
+        record["phases"] = ledger.to_dicts()
+    return record
 
 
 def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -72,6 +72,11 @@ class TrialResult:
     #: where the graph came from: built (by the executor) / store (handed
     #: over in-process) / shm / pickled / "" (pre-staged record)
     graph_source: str = ""
+    #: serialized RoundLedger phase breakdown for composite algorithms
+    #: (list of PhaseRecord dicts; empty when the algorithm reports none).
+    #: Deterministic — unlike stages/graph_source — but kept outside
+    #: metrics; rehydrate with ``RoundLedger.from_dicts``.
+    phases: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def key(self) -> str:
@@ -160,6 +165,7 @@ def _run_pool(
     say: Callable[[str], None],
     name: str,
     overlap_builds: bool,
+    tracer=None,
 ) -> bool:
     """Pool-mode scheduling: overlapped builds + lazily streamed trials.
 
@@ -210,6 +216,15 @@ def _run_pool(
             ready.put(gkey)
 
     pool_size = min(workers, len(pending))
+    if tracer is not None:
+        tracer.emit(
+            "pool",
+            "start",
+            size=pool_size,
+            overlap=overlap,
+            shared_graphs=len(build_order),
+            solo_trials=len(solo),
+        )
     # backpressure: at most this many builds dispatched beyond the ones
     # whose trials have been streamed.  Enough to keep every worker busy,
     # but a fast pool can never pile more than ``window + 1`` undispatched
@@ -295,6 +310,7 @@ def run_sweep(
     use_shm: Optional[bool] = None,
     share_graphs: bool = True,
     overlap_builds: bool = True,
+    trace=None,
 ) -> SweepResult:
     """Run every trial of ``spec``, reusing ``cache`` when given.
 
@@ -323,14 +339,66 @@ def run_sweep(
         dispatched.  Kept as the A/B baseline for ``bench_sweep_scale``
         and the CLI's ``--no-overlap``; records are byte-identical either
         way.  Irrelevant for serial runs.
+    trace:
+        Optional JSONL trace destination: a path (opened in append mode)
+        or an open :class:`~repro.obs.trace.TraceWriter`.  The parent —
+        the sweep's single writer — emits structured spans for every
+        stage, GraphStore lifecycle event, cache probe, and pool
+        dispatch; see :mod:`repro.obs.trace` for the schema and
+        ``repro report trace`` for the summarizer.  ``None`` (default)
+        emits nothing.
     """
     if not isinstance(workers, int) or workers < 1:
         raise InvalidParameterError(
             f"run_sweep: workers must be an integer >= 1, got {workers!r}"
         )
+    tracer = None
+    own_tracer = False
+    if trace is not None:
+        from ..obs.trace import TraceWriter
+
+        if isinstance(trace, TraceWriter):
+            tracer = trace
+        else:
+            tracer = TraceWriter(os.fspath(trace))
+            own_tracer = True
+    try:
+        return _run_sweep_traced(
+            spec, cache, workers, progress, use_shm, share_graphs,
+            overlap_builds, tracer,
+        )
+    finally:
+        if own_tracer:
+            tracer.close()
+
+
+def _run_sweep_traced(
+    spec: SweepSpec,
+    cache: Optional[ResultCache],
+    workers: int,
+    progress: Optional[Callable[[str], None]],
+    use_shm: Optional[bool],
+    share_graphs: bool,
+    overlap_builds: bool,
+    tracer,
+) -> SweepResult:
     t0 = time.perf_counter()
     trials = spec.trials()
     say = progress or (lambda _msg: None)
+
+    if tracer is not None:
+        from ..obs.topology import topology
+
+        tracer.emit(
+            "sweep",
+            "start",
+            sweep=spec.name,
+            trials=len(trials),
+            workers=workers,
+            share_graphs=share_graphs,
+            overlap_builds=overlap_builds,
+            topology=topology(),
+        )
 
     records: Dict[str, dict] = {}
     cached_keys = set()
@@ -345,6 +413,13 @@ def run_sweep(
             continue
         probed.add(key)
         rec = cache.get(key) if cache is not None else None
+        if tracer is not None:
+            tracer.emit(
+                "cache",
+                "hit" if rec is not None else "miss",
+                key=key[:12],
+                trial=trial.label(),
+            )
         if rec is not None:
             records[key] = rec
             cached_keys.add(key)
@@ -359,7 +434,18 @@ def run_sweep(
         say(f"{spec.name}: computing {len(pending)} trial(s), "
             f"{len(cached_keys)} cached")
         pool_mode = workers > 1 and len(pending) > 1
-        store = GraphStore(use_shm=use_shm) if share_graphs else None
+        on_event = None
+        if tracer is not None:
+            # The store lives in the parent (workers only attach), so its
+            # lifecycle events keep the single-writer invariant for free.
+            def on_event(event: str, **fields) -> None:
+                tracer.emit("graphstore", event, **fields)
+
+        store = (
+            GraphStore(use_shm=use_shm, on_event=on_event)
+            if share_graphs
+            else None
+        )
 
         done = 0
 
@@ -370,6 +456,26 @@ def run_sweep(
             # trial, so an interrupted sweep keeps everything finished
             if cache is not None:
                 cache.put(rec)
+            if tracer is not None:
+                # Worker-side stage timings are re-emitted here, in the
+                # parent, so the trace file keeps a single writer.
+                label = TrialSpec.from_dict(rec["trial"]).label()
+                prov = rec.get("provenance", {})
+                pid = prov.get("pid")
+                for stage, dur in rec.get("stages", {}).items():
+                    tracer.emit(
+                        "stage", "span", name=stage, dur_s=dur,
+                        trial=label, pid=pid,
+                    )
+                tracer.emit(
+                    "trial",
+                    "complete",
+                    trial=label,
+                    key=rec["key"][:12],
+                    elapsed_s=rec.get("elapsed_s"),
+                    graph_source=prov.get("graph_source", ""),
+                    pid=pid,
+                )
             done += 1
             if progress is not None:  # label/format only when watched
                 progress(f"{spec.name}: [{done}/{len(pending)}] "
@@ -380,7 +486,7 @@ def run_sweep(
             if pool_mode:
                 build_overlap = _run_pool(
                     pending, store, workers, absorb, say, spec.name,
-                    overlap_builds,
+                    overlap_builds, tracer,
                 )
             else:
                 # serial: graphs are handed over in-process, one payload at
@@ -419,12 +525,13 @@ def run_sweep(
                 graph_source=str(
                     rec.get("provenance", {}).get("graph_source", "")
                 ),
+                phases=[dict(p) for p in rec.get("phases", [])],
             )
         )
     # Hit/miss accounting is per unique key: a duplicated trial is computed
     # once, so counting each occurrence would overstate the misses and skew
     # the hit rate.
-    return SweepResult(
+    sweep_result = SweepResult(
         name=spec.name,
         results=results,
         cache_hits=len(cached_keys),
@@ -435,3 +542,19 @@ def run_sweep(
         graph_build_s=round(graph_build_s, 6),
         build_overlap=build_overlap,
     )
+    if tracer is not None:
+        tracer.emit(
+            "sweep",
+            "end",
+            sweep=spec.name,
+            trials=sweep_result.num_trials,
+            workers=workers,
+            cache_hits=sweep_result.cache_hits,
+            cache_misses=sweep_result.cache_misses,
+            graph_builds=sweep_result.graph_builds,
+            graph_reuses=sweep_result.graph_reuses,
+            graph_build_s=sweep_result.graph_build_s,
+            build_overlap=sweep_result.build_overlap,
+            wall_s=round(sweep_result.wall_s, 6),
+        )
+    return sweep_result

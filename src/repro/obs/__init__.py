@@ -1,0 +1,34 @@
+"""Observability: telemetry sinks, sweep tracing, and topology probes.
+
+Three layers, one spine:
+
+* :mod:`repro.obs.telemetry` — the pluggable per-round
+  :class:`Telemetry` sink both simulator engines feed identically
+  (off by default; the disabled path stays out of the hot loop);
+* :mod:`repro.obs.trace` — structured JSONL trace spans for sweeps
+  (``repro sweep --trace`` / ``repro report trace``);
+* :mod:`repro.obs.topology` — the host-shape block embedded in BENCH
+  records and sweep traces so perf gates can be topology-aware.
+"""
+
+from .telemetry import RoundSample, RoundTelemetry, Telemetry
+from .topology import topology
+from .trace import (
+    TRACE_SCHEMA,
+    TraceWriter,
+    read_trace,
+    render_trace_report,
+    summarize_trace,
+)
+
+__all__ = [
+    "Telemetry",
+    "RoundTelemetry",
+    "RoundSample",
+    "TraceWriter",
+    "TRACE_SCHEMA",
+    "read_trace",
+    "summarize_trace",
+    "render_trace_report",
+    "topology",
+]

@@ -1,0 +1,200 @@
+"""Pluggable telemetry sinks for the round simulator.
+
+The paper's claims are round- and message-complexity bounds, so the
+simulator exposes a first-class observation channel: pass a
+:class:`Telemetry` sink to :meth:`SynchronousNetwork.run
+<repro.simulator.network.SynchronousNetwork.run>` via ``telemetry=`` and
+both engines (``dense`` and ``event``) feed it the same stream of
+per-round counters.
+
+Sink contract
+-------------
+
+A sink subclasses :class:`Telemetry` and overrides any of five hooks:
+
+* ``on_run_start(n, scheduler)`` — once per run, before round 0;
+* ``on_round(round_number, active, messages, message_bytes, woke,
+  idled)`` — once per *executed* round, round 0 (``on_start``) included;
+* ``on_fast_forward(from_round, to_round)`` — when the event engine
+  jumps over empty rounds (the dense engine executes them and emits
+  ``on_round`` with zero messages instead);
+* ``on_message(round_number, sender, dest, payload)`` — per message,
+  only when the sink sets ``wants_messages = True``;
+* ``on_run_end(result)`` — once per run, with the final ``RunResult``.
+
+Two class attributes opt into the expensive streams: ``wants_messages``
+routes every dispatch through the slow path (like a
+:class:`~repro.simulator.tracing.MessageTrace`), and ``wants_bytes``
+forces payload-size estimation so ``message_bytes`` is populated.
+
+Engine comparability: ``round_number``/``messages``/``message_bytes``
+are identical across engines for the rounds both execute (the
+equivalence suite pins this).  ``active``/``woke``/``idled`` are
+*scheduling* diagnostics and engine-specific by design — the dense
+engine activates every running node each round and never parks one, so
+it reports ``woke == idled == 0``.
+
+Overhead guarantee: with ``telemetry=None`` (the default) the run pays
+one hoisted ``is not None`` check per round and nothing per message —
+the disabled path is gated in CI against the frozen pre-instrumentation
+scheduler (``benchmarks/legacy_network.py``) to stay within 3%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+
+class Telemetry:
+    """No-op base sink; subclass and override the hooks you need."""
+
+    __slots__ = ()
+
+    #: Set True to receive ``on_message`` for every dispatched message
+    #: (routes dispatch through the simulator's slow path).
+    wants_messages = False
+
+    #: Set True to force payload-size estimation even when the caller did
+    #: not pass ``count_bytes=True`` (so ``message_bytes`` is populated).
+    wants_bytes = False
+
+    def on_run_start(self, n: int, scheduler: str) -> None:
+        """Called once before round 0; ``n`` is the participant count."""
+
+    def on_round(
+        self,
+        round_number: int,
+        active: int,
+        messages: int,
+        message_bytes: int,
+        woke: int,
+        idled: int,
+    ) -> None:
+        """Called after every executed round with that round's counters."""
+
+    def on_fast_forward(self, from_round: int, to_round: int) -> None:
+        """Called when the event engine skips the empty rounds strictly
+        between ``from_round`` and ``to_round``."""
+
+    def on_message(
+        self, round_number: int, sender: Any, dest: Any, payload: Any
+    ) -> None:
+        """Per-message hook; only fired when ``wants_messages`` is True."""
+
+    def on_run_end(self, result: Any) -> None:
+        """Called once with the final :class:`RunResult`."""
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """Counters for one executed round."""
+
+    round_number: int
+    active: int
+    messages: int
+    message_bytes: int
+    woke: int
+    idled: int
+
+
+class RoundTelemetry(Telemetry):
+    """Collects per-round counters into a list of :class:`RoundSample`.
+
+    Samples accumulate across runs when the same sink is threaded through
+    a composite algorithm (``runs`` counts them); round numbers restart
+    per run.  ``count_bytes=True`` opts into payload sizing so the
+    ``message_bytes`` column is populated.
+    """
+
+    def __init__(self, count_bytes: bool = False):
+        self.wants_bytes = bool(count_bytes)
+        self.samples: List[RoundSample] = []
+        self.fast_forwarded = 0
+        self.runs = 0
+        self.n = 0
+        self.scheduler = ""
+
+    # Telemetry hooks ---------------------------------------------------
+    def on_run_start(self, n: int, scheduler: str) -> None:
+        self.runs += 1
+        self.n = n
+        self.scheduler = scheduler
+
+    def on_round(
+        self,
+        round_number: int,
+        active: int,
+        messages: int,
+        message_bytes: int,
+        woke: int,
+        idled: int,
+    ) -> None:
+        self.samples.append(
+            RoundSample(round_number, active, messages, message_bytes, woke, idled)
+        )
+
+    def on_fast_forward(self, from_round: int, to_round: int) -> None:
+        self.fast_forwarded += to_round - from_round - 1
+
+    # Derived views -----------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.samples)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.message_bytes for s in self.samples)
+
+    @property
+    def last_round(self) -> int:
+        return max((s.round_number for s in self.samples), default=0)
+
+    @property
+    def peak_active(self) -> int:
+        return max((s.active for s in self.samples), default=0)
+
+    @property
+    def wake_transitions(self) -> int:
+        return sum(s.woke for s in self.samples)
+
+    @property
+    def idle_transitions(self) -> int:
+        return sum(s.idled for s in self.samples)
+
+    def active_node_rounds(self) -> int:
+        """Total node activations — the simulator's unit of work."""
+        return sum(s.active for s in self.samples)
+
+    def message_rounds(self) -> Dict[int, int]:
+        """Messages per round, rounds with traffic only.
+
+        Empty rounds are executed by the dense engine but fast-forwarded
+        by the event engine, so restricting to rounds with traffic makes
+        this view engine-independent (within a single run).
+        """
+        out: Dict[int, int] = {}
+        for s in self.samples:
+            if s.messages:
+                out[s.round_number] = out.get(s.round_number, 0) + s.messages
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able CONGEST-style summary of everything collected."""
+        return {
+            "runs": self.runs,
+            "n": self.n,
+            "scheduler": self.scheduler,
+            "rounds_executed": len(self.samples),
+            "last_round": self.last_round,
+            "fast_forwarded_rounds": self.fast_forwarded,
+            "active_node_rounds": self.active_node_rounds(),
+            "peak_active": self.peak_active,
+            "messages": self.total_messages,
+            "message_bytes": self.total_bytes,
+            "max_round_messages": max(
+                (s.messages for s in self.samples), default=0
+            ),
+            "wake_transitions": self.wake_transitions,
+            "idle_transitions": self.idle_transitions,
+        }

@@ -1,0 +1,31 @@
+"""Host topology probe shared by sweep traces and BENCH records.
+
+Perf numbers only compare across machines when the machine shape rides
+along: ``overlap_vs_*`` speedups are meaningless on a single-core box.
+Every BENCH record and every sweep trace therefore embeds this block,
+and ``benchmarks/check_perf_regression.py`` uses it to skip
+parallelism-dependent floors on mismatched topology.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+
+def topology() -> Dict[str, Any]:
+    """Describe the host: cpu count, effective workers, shm availability."""
+    info: Dict[str, Any] = {"cpu_count": os.cpu_count() or 1}
+    try:
+        from ..experiments.runner import default_workers
+
+        info["effective_workers"] = default_workers()
+    except Exception:
+        info["effective_workers"] = 1
+    try:
+        from ..experiments.graphstore import shm_available
+
+        info["shm_available"] = bool(shm_available())
+    except Exception:
+        info["shm_available"] = False
+    return info

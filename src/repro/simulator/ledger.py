@@ -10,7 +10,7 @@ report both the total and the breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping, Sequence
 
 from .network import RunResult
 
@@ -23,6 +23,24 @@ class PhaseRecord:
     rounds: int
     messages: int = 0
     message_bytes: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able dict (the sweep-record serialization)."""
+        return {
+            "name": self.name,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "message_bytes": self.message_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PhaseRecord":
+        return cls(
+            name=str(d["name"]),
+            rounds=int(d["rounds"]),
+            messages=int(d.get("messages", 0)),
+            message_bytes=int(d.get("message_bytes", 0)),
+        )
 
 
 @dataclass
@@ -43,6 +61,24 @@ class RoundLedger:
         """Absorb another ledger's phases (optionally name-prefixed)."""
         for p in other.phases:
             self.add(prefix + p.name, p.rounds, p.messages, p.message_bytes)
+
+    def add_telemetry(self, name: str, telemetry: Any) -> None:
+        """Record a phase from a collected
+        :class:`~repro.obs.telemetry.RoundTelemetry` sink."""
+        self.add(
+            name,
+            telemetry.last_round,
+            telemetry.total_messages,
+            telemetry.total_bytes,
+        )
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Serialize all phases (the ``phases`` block of sweep records)."""
+        return [p.to_dict() for p in self.phases]
+
+    @classmethod
+    def from_dicts(cls, items: Sequence[Mapping[str, Any]]) -> "RoundLedger":
+        return cls(phases=[PhaseRecord.from_dict(d) for d in items])
 
     @property
     def total_rounds(self) -> int:

@@ -39,6 +39,14 @@ Round, message, and byte accounting are shared, so the observable
 parametrised equivalence suite (``tests/test_scheduler_equivalence.py``)
 enforces this across the whole algorithm library.
 
+Both engines also feed the same optional observation channel: a
+:class:`~repro.obs.telemetry.Telemetry` sink passed via ``telemetry=``
+receives per-round counters (active nodes, messages, bytes, wake/idle
+transitions) and fast-forward notifications.  The disabled path costs
+one hoisted check per round and nothing per message — the telemetry
+overhead gate in ``benchmarks/bench_simulator_throughput.py`` enforces
+this against the frozen pre-instrumentation scheduler.
+
 Parallel composition on subgraphs
 ---------------------------------
 
@@ -124,6 +132,7 @@ class SynchronousNetwork:
         round_limit: Optional[int] = None,
         count_bytes: bool = False,
         trace: Optional["MessageTrace"] = None,
+        telemetry: Optional["Telemetry"] = None,
         scheduler: Optional[str] = None,
     ) -> RunResult:
         """Execute one node program to completion on (a subgraph of) the net.
@@ -157,6 +166,14 @@ class SynchronousNetwork:
         trace:
             Optional :class:`~repro.simulator.tracing.MessageTrace` that
             records every message (round, endpoints, payload, size).
+        telemetry:
+            Optional :class:`~repro.obs.telemetry.Telemetry` sink fed
+            per-round counters (active nodes, messages, bytes,
+            fast-forwarded rounds, wake/idle transitions) identically by
+            both engines.  ``None`` (the default) keeps every hook out of
+            the hot loop.  A sink with ``wants_bytes`` turns on payload
+            sizing; one with ``wants_messages`` also receives every
+            message via ``on_message``.
         scheduler:
             ``"event"`` or ``"dense"``; defaults to the network's scheduler.
             Both produce byte-identical results (see module docstring).
@@ -231,9 +248,16 @@ class SynchronousNetwork:
         pending: Dict[int, Dict[Vertex, Any]] = {}
 
         current_round = 0
+        # Telemetry is hoisted out of the hot loop: one ``is not None``
+        # check per round, nothing per message unless the sink asks for
+        # the message stream (wants_messages) or byte sizing (wants_bytes).
+        tel = telemetry
+        if tel is not None and tel.wants_bytes:
+            count_bytes = True
+        msg_hook = tel is not None and tel.wants_messages
         # Byte counting and tracing are rare; keeping them in a slow-path
         # helper keeps the per-message fast path branch-free.
-        slow_path = count_bytes or trace is not None
+        slow_path = count_bytes or trace is not None or msg_hook
 
         def dispatch_slow(sender: Vertex, outbox) -> None:
             nonlocal messages, message_bytes, max_message_bytes
@@ -246,6 +270,8 @@ class SynchronousNetwork:
                         max_message_bytes = size
                 if trace is not None:
                     trace.record(current_round, sender, dest, payload)
+                if msg_hook:
+                    tel.on_message(current_round, sender, dest, payload)
                 slot = dest if rank is None else rank[dest]
                 box = pending.get(slot)
                 if box is None:
@@ -260,6 +286,9 @@ class SynchronousNetwork:
         wake_round: Dict[int, int] = {}
         wake_heap: List[Tuple[int, int]] = []  # (round, slot)
         heappush = heapq.heappush
+
+        if tel is not None:
+            tel.on_run_start(S, mode)
 
         # Round 0: on_start for everyone, no inbound messages yet.
         for slot in range(S):
@@ -302,6 +331,13 @@ class SynchronousNetwork:
                 running_count -= 1
                 awake.discard(slot)
 
+        if tel is not None:
+            # Round 0 activates every participant; nodes that parked in
+            # on_start count as idle transitions (event engine only —
+            # dense never parks a node).
+            idled0 = running_count - len(awake) if mode == "event" else 0
+            tel.on_round(0, S, messages, message_bytes, 0, idled0)
+
         rounds = 0
         if mode == "dense":
             while running_count:
@@ -309,6 +345,10 @@ class SynchronousNetwork:
                     raise RoundLimitExceeded(round_limit, running_count)
                 rounds += 1
                 current_round = rounds
+                if tel is not None:
+                    tel_m0 = messages
+                    tel_b0 = message_bytes
+                    tel_active = running_count
                 delivery = pending
                 pending = {}
                 for slot in range(S):
@@ -338,6 +378,15 @@ class SynchronousNetwork:
                     if running[slot] and contexts[slot].halted:
                         running[slot] = 0
                         running_count -= 1
+                if tel is not None:
+                    tel.on_round(
+                        rounds,
+                        tel_active,
+                        messages - tel_m0,
+                        message_bytes - tel_b0,
+                        0,
+                        0,
+                    )
                 # Messages addressed to halted nodes are dropped silently.
         else:
             while running_count:
@@ -361,6 +410,8 @@ class SynchronousNetwork:
                         raise RoundLimitExceeded(round_limit, running_count)
                 if next_round > round_limit:
                     raise RoundLimitExceeded(round_limit, running_count)
+                if tel is not None and next_round > rounds + 1:
+                    tel.on_fast_forward(rounds, next_round)
                 rounds = next_round
                 current_round = rounds
                 delivery = pending
@@ -375,6 +426,13 @@ class SynchronousNetwork:
                     r, slot = heapq.heappop(wake_heap)
                     if running[slot] and wake_round.get(slot) == r:
                         cand.add(slot)
+                if tel is not None:
+                    tel_m0 = messages
+                    tel_b0 = message_bytes
+                    # Wake transitions: candidates activated from a parked
+                    # state (must be counted before the schedule loop
+                    # mutates ``awake``).
+                    tel_woke = sum(1 for s in cand if s not in awake)
                 # Deterministic ascending-id activation (slot order is id
                 # order) without re-sorting the whole running set: sort the
                 # candidates when they are few, walk the slot range when
@@ -426,13 +484,30 @@ class SynchronousNetwork:
                             running_count -= 1
                         awake.discard(slot)
                         wake_round.pop(slot, None)
+                if tel is not None:
+                    # Idle transitions: activated nodes that are still
+                    # running but parked themselves this round.
+                    tel_idled = sum(
+                        1 for s in cand if running[s] and s not in awake
+                    )
+                    tel.on_round(
+                        rounds,
+                        len(cand),
+                        messages - tel_m0,
+                        message_bytes - tel_b0,
+                        tel_woke,
+                        tel_idled,
+                    )
                 # Messages addressed to halted nodes are dropped silently.
 
         outputs = {ctx.node: ctx.output for ctx in contexts}
-        return RunResult(
+        result = RunResult(
             outputs=outputs,
             rounds=rounds,
             messages=messages,
             message_bytes=message_bytes,
             max_message_bytes=max_message_bytes,
         )
+        if tel is not None:
+            tel.on_run_end(result)
+        return result

@@ -4,6 +4,12 @@ A :class:`MessageTrace` passed to :meth:`SynchronousNetwork.run` records
 every message with its round number, endpoints, and size.  Used by the
 CONGEST-style analyses (how big do messages actually get?) and handy when
 debugging a new node program.
+
+``MessageTrace`` is a :class:`~repro.obs.telemetry.Telemetry` sink with
+``wants_messages`` set: the dedicated ``trace=`` argument of
+:meth:`SynchronousNetwork.run` is kept as the convenient spelling, but a
+trace may equally be passed as ``telemetry=`` (do not pass the same
+object as both — every message would be recorded twice).
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from ..obs.telemetry import Telemetry
 from ..types import Vertex
 from .message import payload_size
 
@@ -27,8 +34,10 @@ class TracedMessage:
 
 
 @dataclass
-class MessageTrace:
+class MessageTrace(Telemetry):
     """Collects every message of a run (opt-in; costs memory and time)."""
+
+    wants_messages = True
 
     messages: List[TracedMessage] = field(default_factory=list)
 
@@ -45,6 +54,12 @@ class MessageTrace:
                 size=payload_size(payload),
             )
         )
+
+    def on_message(
+        self, round_number: int, sender: Vertex, dest: Vertex, payload: Any
+    ) -> None:
+        """Telemetry hook: identical to :meth:`record`."""
+        self.record(round_number, sender, dest, payload)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -188,6 +188,10 @@ class ForestsDecomposition:
     num_forests: int
     rounds: int = 0
     params: Dict[str, object] = field(default_factory=dict)
+    #: Optional per-phase round/message breakdown
+    #: (a :class:`~repro.simulator.ledger.RoundLedger`; typed loosely to
+    #: avoid a types ↔ simulator import cycle).
+    ledger: Optional[object] = None
 
     def parent_in_forest(
         self, v: Vertex, forest: int, neighbors: Iterable[Vertex]
@@ -239,6 +243,9 @@ class MISResult:
     rounds: int = 0
     algorithm: str = ""
     params: Dict[str, object] = field(default_factory=dict)
+    #: Optional per-phase round/message breakdown (a
+    #: :class:`~repro.simulator.ledger.RoundLedger`).
+    ledger: Optional[object] = None
 
     def __contains__(self, v: Vertex) -> bool:
         return v in self.members

@@ -606,23 +606,124 @@ class TestAggregate:
     def test_stage_timing_table_means_and_untimed_records(self):
         res = run_sweep(tiny_spec(num_seeds=1))
         table = stage_timing_table(res)
-        for header in ("build_graph ms", "run_algorithm ms", "verify ms",
-                       "metrics ms", "total ms"):
+        for header in ("trials", "timed", "cached", "build_graph ms",
+                       "run_algorithm ms", "verify ms", "metrics ms",
+                       "total ms"):
             assert header in table
-        # a record written before the staged engine has no stage timings;
-        # the group renders but contributes no means
-        from repro.experiments import SweepResult, TrialResult
 
-        legacy = SweepResult(
-            name="legacy",
-            results=[TrialResult(
-                trial=TrialSpec(family="tree", algorithm="cor46", seed=0),
-                metrics={"rounds": 3}, cached=True,
-            )],
+    @staticmethod
+    def _timed_trial(seed, stages, cached):
+        from repro.experiments import TrialResult
+
+        return TrialResult(
+            trial=TrialSpec(family="tree", algorithm="cor46", seed=seed,
+                            family_params={"n": 30}),
+            metrics={"rounds": 3}, stages=stages, cached=cached,
         )
+
+    @staticmethod
+    def _row_cells(table, *needles):
+        rows = [ln for ln in table.splitlines()
+                if all(n in ln for n in needles)]
+        assert len(rows) == 1, (needles, table)
+        return [c.strip() for c in rows[0].strip().strip("|").split("|")]
+
+    def test_stage_timing_table_mixes_cached_and_fresh(self):
+        """A group mixing fresh trials, cache hits that kept their timings,
+        and a pre-staged record with no ``stages`` at all: the untimed
+        record counts as a cached row and is excluded from the means
+        instead of being dropped or zero-filled."""
+        from repro.experiments import SweepResult
+
+        full = {"build_graph": 0.010, "run_algorithm": 0.020,
+                "verify": 0.002, "metrics": 0.001}
+        hit = {"build_graph": 0.030, "run_algorithm": 0.040,
+               "verify": 0.004, "metrics": 0.003}
+        mixed = SweepResult(name="mixed", results=[
+            self._timed_trial(0, full, cached=False),
+            self._timed_trial(1, hit, cached=True),   # hit carrying timings
+            self._timed_trial(2, {}, cached=True),    # pre-staged: no stages
+        ])
+        cells = self._row_cells(stage_timing_table(mixed), "tree", "cor46")
+        # family, algorithm, trials, timed, cached, 4 stage means, total
+        assert cells[2:5] == ["3", "2", "2"]
+        # means over the 2 timed trials only, rendered in milliseconds
+        assert float(cells[5]) == pytest.approx(20.0)  # build_graph
+        assert float(cells[6]) == pytest.approx(30.0)  # run_algorithm
+        assert "-" not in cells[5:]
+
+    def test_stage_timing_table_all_cached_group_untimed(self):
+        """A group of only pre-staged records renders ``-`` means (never
+        fabricated zeros) but still shows its trial and cached counts."""
+        from repro.experiments import SweepResult
+
+        legacy = SweepResult(name="legacy", results=[
+            self._timed_trial(0, {}, cached=True),
+            self._timed_trial(1, {}, cached=True),
+        ])
         table = stage_timing_table(legacy)
-        assert "| 0     |" in table  # timed column
-        assert "-" in table
+        cells = self._row_cells(table, "tree", "cor46")
+        assert cells[2:5] == ["2", "0", "2"]
+        assert set(cells[5:]) == {"-"}
+        assert "pre-staged cache records carry no timings" in table
+
+
+class TestPhaseBreakdowns:
+    """Composite algorithms surface their RoundLedger next to — never
+    inside — the deterministic metrics, and the breakdown survives the
+    cache round-trip byte-for-byte."""
+
+    @staticmethod
+    def phase_spec():
+        return SweepSpec(
+            "phases",
+            grid_scenarios(
+                families=[{"name": "forest_union", "n": 40, "a": 2}],
+                algorithms=[{"name": "mis_arboricity"}, {"name": "forests"},
+                            {"name": "linial"}],
+                seeds=[0],
+            ),
+        )
+
+    EXPECTED = {
+        "mis_arboricity": ["coloring_thm43", "color_class_sweep"],
+        "forests": ["hpartition", "forest_labeling"],
+    }
+
+    def test_composite_algorithms_report_phases(self):
+        res = run_sweep(self.phase_spec())
+        by_algo = {tr.trial.algorithm: tr for tr in res}
+        for algo, phase_names in self.EXPECTED.items():
+            tr = by_algo[algo]
+            assert [p["name"] for p in tr.phases] == phase_names
+            # the phases tile the reported round complexity exactly
+            assert sum(p["rounds"] for p in tr.phases) == tr.metrics["rounds"]
+            for p in tr.phases:
+                assert p["messages"] >= 0 and p["message_bytes"] >= 0
+            # phases live next to metrics, never inside: aggregate reports
+            # stay byte-identical to the pre-ledger engine
+            assert "phases" not in tr.metrics
+        # single-run algorithms simply report none
+        assert by_algo["linial"].phases == []
+
+    def test_phases_round_trip_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fresh = run_sweep(self.phase_spec(), cache=cache)
+        again = run_sweep(self.phase_spec(), cache=cache)
+        assert again.cache_hits == again.num_trials
+        fresh_phases = {tr.key: tr.phases for tr in fresh}
+        again_phases = {tr.key: tr.phases for tr in again}
+        assert fresh_phases == again_phases
+        assert any(fresh_phases.values())  # the comparison is not vacuous
+
+    def test_phases_rehydrate_as_ledger(self):
+        from repro.simulator import RoundLedger
+
+        res = run_sweep(self.phase_spec())
+        tr = next(t for t in res if t.trial.algorithm == "mis_arboricity")
+        ledger = RoundLedger.from_dicts(tr.phases)
+        assert ledger.to_dicts() == tr.phases
+        assert [p.name for p in ledger.phases] == self.EXPECTED["mis_arboricity"]
 
 
 class TestSweepCLI:

@@ -49,6 +49,7 @@ from repro.graphs import (
     preferential_attachment,
     random_tree,
 )
+from repro.simulator import MessageTrace
 
 INSTANCES = [
     ("forest_union", lambda: forest_union(150, 3, seed=21)),
@@ -142,6 +143,92 @@ def test_run_results_byte_identical(inst_name, make):
         count_bytes=True,
     )
     assert sweep(net_dense) == sweep(net_event)
+
+
+class TestMessageTraceEquivalence:
+    """The full message log — not just the aggregate accounting — is
+    byte-identical across schedulers, including through stall phases the
+    event engine fast-forwards without executing a round loop for."""
+
+    @staticmethod
+    def _traced(scheduler, graph, runner):
+        from repro.obs import RoundTelemetry
+
+        net = SynchronousNetwork(graph, scheduler=scheduler)
+        trace = MessageTrace()
+        telemetry = RoundTelemetry()
+        original_run = net.run
+
+        def run_traced(*args, **kwargs):
+            kwargs.setdefault("trace", trace)
+            kwargs.setdefault("telemetry", telemetry)
+            return original_run(*args, **kwargs)
+
+        net.run = run_traced
+        runner(net)
+        return trace, telemetry
+
+    TRACED_ALGORITHMS = [
+        ("mis_arboricity", lambda net, a: mis_arboricity(net, a)),
+        ("ruling_set", lambda net, a: ruling_set(net)),
+        ("cor46", lambda net, a: legal_coloring_corollary46(net, a, eta=0.5)),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,algo", TRACED_ALGORITHMS, ids=[a[0] for a in TRACED_ALGORITHMS]
+    )
+    def test_trace_identical_across_schedulers(self, name, algo):
+        gen = forest_union(150, 3, seed=21)
+        a = gen.arboricity_bound
+        dense_trace, _ = self._traced(
+            "dense", gen.graph, lambda net: algo(net, a)
+        )
+        event_trace, _ = self._traced(
+            "event", gen.graph, lambda net: algo(net, a)
+        )
+        # every message: round number, endpoints, payload, and size
+        assert dense_trace.messages == event_trace.messages
+
+    def test_trace_identical_through_fast_forwarded_rounds(self):
+        """A sparse color palette leaves multi-round gaps between class
+        activations: the event engine must fast-forward those empty rounds
+        without executing them, yet keep the message log — including every
+        round number — byte-identical to the dense reference."""
+        from repro.core import greedy_reduction
+
+        gen = forest_union(150, 3, seed=21)
+        graph = gen.graph
+        target = graph.max_degree + 1
+        colors = {v: 7 * v for v in graph.vertices}  # classes 7 rounds apart
+
+        def workload(net):
+            return greedy_reduction(net, dict(colors), 7 * graph.n, target)
+
+        dense_trace, dense_tel = self._traced("dense", graph, workload)
+        event_trace, event_tel = self._traced("event", graph, workload)
+        assert event_tel.fast_forwarded > 0  # the gaps were actually skipped
+        assert dense_tel.fast_forwarded == 0  # dense executes every round
+        assert dense_trace.messages == event_trace.messages
+        # aggregate accounting agrees with the per-message log too
+        assert dense_tel.total_messages == event_tel.total_messages
+        assert event_tel.total_messages == len(event_trace)
+        assert dense_tel.message_rounds() == event_tel.message_rounds()
+
+    def test_trace_as_telemetry_matches_trace_argument(self):
+        """``telemetry=MessageTrace()`` records exactly what ``trace=`` does."""
+        from repro.core.hpartition import HPartitionProgram, degree_threshold
+
+        gen = forest_union(120, 3, seed=21)
+        threshold = degree_threshold(gen.arboricity_bound, 0.5)
+        as_trace = MessageTrace()
+        SynchronousNetwork(gen.graph).run(
+            lambda: HPartitionProgram(threshold), trace=as_trace
+        )
+        as_telemetry = MessageTrace()
+        SynchronousNetwork(gen.graph).run(
+            lambda: HPartitionProgram(threshold), telemetry=as_telemetry
+        )
+        assert as_trace.messages == as_telemetry.messages
 
 
 def test_per_run_scheduler_override():

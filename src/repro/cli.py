@@ -10,6 +10,8 @@ without writing code::
     python -m repro sweep --report
     python -m repro sweep --spec my_sweep.json --workers 8
     python -m repro sweep --workers 4 --trace sweep-trace.jsonl
+    python -m repro sweep --executor socket --spawn-workers 4
+    python -m repro worker --connect 127.0.0.1:7000
     python -m repro report trace sweep-trace.jsonl
 
 Output is a small plain-text report: the instance, the result (colors /
@@ -217,13 +219,16 @@ def _default_sweep_spec(n: int, num_seeds: int):
 
 
 def _cmd_sweep(args) -> int:
-    from .errors import InvalidParameterError
+    from .errors import ExecutorError, InvalidParameterError
     from .experiments import (
         ResultCache,
+        SocketExecutor,
         SweepSpec,
         default_workers,
+        parse_address,
         report_table,
         run_sweep,
+        spawn_local_workers,
         stage_timing_table,
     )
 
@@ -258,8 +263,34 @@ def _cmd_sweep(args) -> int:
         )
         cache = ResultCache(cache_dir)
 
+    executor = None if args.executor == "auto" else args.executor
+    coordinator = None
+    spawned = []
     try:
         workers = args.workers if args.workers is not None else default_workers()
+        if args.executor == "socket":
+            # the coordinator outlives run_sweep (workers stay attached
+            # across the sweep), so the CLI owns and closes it
+            host, port = parse_address(args.listen)
+            coordinator = SocketExecutor(
+                host=host,
+                port=port,
+                min_workers=max(args.min_workers, args.spawn_workers, 1),
+            )
+            print(
+                f"sweep: socket executor listening on {coordinator.address} "
+                f"(attach workers with `repro worker --connect "
+                f"{coordinator.address}`)"
+            )
+            if args.spawn_workers:
+                spawned = spawn_local_workers(
+                    coordinator.host, coordinator.port, args.spawn_workers
+                )
+            coordinator.wait_for_workers()
+            print(
+                f"sweep: {coordinator.worker_count()} worker(s) attached"
+            )
+            executor = coordinator
         result = run_sweep(
             spec,
             cache=cache,
@@ -268,9 +299,20 @@ def _cmd_sweep(args) -> int:
             use_shm=False if args.no_shm else None,
             overlap_builds=not args.no_overlap,
             trace=args.trace,
+            executor=executor,
         )
-    except InvalidParameterError as exc:
+    except (ExecutorError, InvalidParameterError) as exc:
         raise SystemExit(str(exc))
+    finally:
+        if coordinator is not None:
+            coordinator.close()
+        for proc in spawned:
+            proc.terminate()
+        for proc in spawned:
+            try:
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
 
     if args.stage_timings:
         print(stage_timing_table(result))
@@ -290,11 +332,18 @@ def _cmd_sweep(args) -> int:
             note="pass --report for percentile aggregation per (family, algorithm)",
         ))
     hit_pct = 100.0 * result.hit_rate
-    print(
+    summary = (
         f"sweep: {result.num_trials} trial(s) in {result.wall_s:.2f}s with "
         f"{workers} worker(s); cache: {result.cache_hits} hit(s), "
         f"{result.cache_misses} miss(es) ({hit_pct:.0f}% hit rate)"
     )
+    if cache is not None and cache.corrupt_lines:
+        # the store tolerated malformed JSONL lines (crash mid-append,
+        # disk damage) — say so instead of silently recomputing those keys
+        summary += (
+            f"; {cache.corrupt_lines} corrupt cache line(s) tolerated"
+        )
+    print(summary)
     if result.graph_builds:
         mode = (
             "overlapped with execution"
@@ -312,6 +361,13 @@ def _cmd_sweep(args) -> int:
             f"(summarize with `repro report trace {args.trace}`)"
         )
     return 0
+
+
+def _cmd_worker(args) -> int:
+    from .experiments import parse_address, run_worker
+
+    host, port = parse_address(args.connect)
+    return run_worker(host, port, say=print)
 
 
 def _cmd_report(args) -> int:
@@ -405,7 +461,36 @@ def build_parser() -> argparse.ArgumentParser:
                          "GraphStore lifecycle, cache hits/misses, pool "
                          "dispatch) to PATH; summarize with "
                          "`repro report trace PATH`")
+    p_sweep.add_argument("--executor",
+                         choices=["auto", "serial", "pool", "socket"],
+                         default="auto",
+                         help="execution backend: auto (serial for "
+                         "--workers 1, a local pool otherwise), serial, "
+                         "pool, or socket (become a coordinator; workers "
+                         "attach with `repro worker --connect`)")
+    p_sweep.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                         help="socket executor listen address; port 0 picks "
+                         "a free port (printed at startup). Bind only to "
+                         "loopback or trusted private interfaces — the "
+                         "protocol carries pickles")
+    p_sweep.add_argument("--min-workers", type=int, default=1,
+                         help="socket executor: wait for this many attached "
+                         "workers before dispatching")
+    p_sweep.add_argument("--spawn-workers", type=int, default=0, metavar="N",
+                         help="socket executor: also start N loopback "
+                         "`repro worker` subprocesses (single-host "
+                         "scale-out without a second terminal)")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="attach this process to a sweep coordinator "
+        "(`repro sweep --executor socket`) and serve trials",
+    )
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator address printed by "
+                          "`repro sweep --executor socket`")
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_report = sub.add_parser(
         "report", help="summarize observability artifacts"

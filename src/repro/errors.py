@@ -47,5 +47,18 @@ class InvalidParameterError(ReproError, ValueError):
     """An algorithm parameter is outside its valid domain."""
 
 
+class ExecutorError(ReproError, RuntimeError):
+    """A sweep execution backend failed.
+
+    Raised by :mod:`repro.experiments.executors` when a backend cannot make
+    progress (no workers left and none reconnecting), when a payload
+    exhausts its retry budget after repeated worker disconnects, or when a
+    remote worker reports that a payload itself raised.  Trials that
+    completed before the failure are already persisted (the runner streams
+    records into the cache as they arrive), so re-running the sweep resumes
+    from them.
+    """
+
+
 class VerificationError(ReproError, AssertionError):
     """A checked invariant does not hold."""

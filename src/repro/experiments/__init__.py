@@ -27,6 +27,17 @@ from .aggregate import (
     summarize,
 )
 from .cache import ResultCache
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    LocalPoolExecutor,
+    SerialExecutor,
+    SocketExecutor,
+    make_executor,
+    parse_address,
+    run_worker,
+    spawn_local_workers,
+)
 from .graphstore import GraphStore, ShmGraphRef, shm_available
 from .registry import (
     ALGORITHMS,
@@ -77,6 +88,15 @@ __all__ = [
     "SweepResult",
     "TrialResult",
     "default_workers",
+    "Executor",
+    "EXECUTOR_NAMES",
+    "SerialExecutor",
+    "LocalPoolExecutor",
+    "SocketExecutor",
+    "make_executor",
+    "parse_address",
+    "run_worker",
+    "spawn_local_workers",
     "percentile",
     "summarize",
     "report_table",

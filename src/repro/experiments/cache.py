@@ -220,6 +220,14 @@ class ResultCache:
                 os.replace(tmp, final)
         return dropped
 
-    def stats(self) -> Tuple[int, int]:
-        """(hits, misses) since this cache object was created."""
-        return self.hits, self.misses
+    def stats(self) -> Tuple[int, int, int]:
+        """(hits, misses, corrupt_lines) for this cache object.
+
+        Hits and misses count probes since the object was created;
+        ``corrupt_lines`` is the number of malformed JSONL lines the last
+        load tolerated (skipped, never fatal) — surfaced so a store taking
+        silent damage (partial writes from a crash mid-append, disk
+        trouble) is visible in the sweep summary instead of only as
+        mysteriously missing cache hits.
+        """
+        return self.hits, self.misses, self.corrupt_lines

@@ -1,0 +1,107 @@
+"""Length-prefixed JSON wire protocol for the socket executor.
+
+Every message is one frame: a 4-byte big-endian length followed by a
+UTF-8 JSON body.  JSON keeps the protocol debuggable (``nc`` + eyeballs)
+and matches the cache/record format, which is already JSON — trial
+payloads and result records cross the wire byte-for-byte as the runner
+and :func:`~repro.experiments.registry.execute_payload` see them.
+
+The one non-JSON value that must cross is a built graph: trial payloads
+carry a :class:`~repro.graphs.generators.GeneratedGraph` on the pickle
+transport (remote workers can never attach the parent's shared-memory
+segments), and build results carry one back.  Those are encoded as a
+tagged object ``{"__pickle__": "<base64>"}`` — the codec walks
+containers, passes JSON scalars through untouched, and pickles anything
+else.  (``msgpack`` would carry the bytes natively, but it is not a
+baked-in dependency; base64 over JSON costs ~33% on the graph frames and
+nothing on everything else.)
+
+Pickle over a socket executes arbitrary bytecode on unpickling, so the
+protocol is for **trusted clusters only** — the same trust boundary
+``multiprocessing`` itself assumes.  Bind coordinators to loopback or
+private interfaces.
+
+Frames are capped at 1 GiB: a corrupt or hostile length prefix fails
+fast instead of allocating unbounded memory.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Dict
+
+__all__ = ["send_msg", "recv_msg", "encode_value", "decode_value", "MAX_FRAME"]
+
+#: refuse frames beyond this many bytes (corrupt prefix / abuse guard)
+MAX_FRAME = 1 << 30
+
+_LEN = struct.Struct(">I")
+#: tag key marking a base64-pickled value inside the JSON body
+_PICKLE_TAG = "__pickle__"
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-safe encoding: containers walked, non-JSON leaves pickled."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        if _PICKLE_TAG in value:  # literal dict that would collide: pickle it
+            return _pickled(value)
+        return {str(k): encode_value(v) for k, v in value.items()}
+    return _pickled(value)
+
+
+def _pickled(value: Any) -> Dict[str, str]:
+    data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return {_PICKLE_TAG: base64.b64encode(data).decode("ascii")}
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if set(value) == {_PICKLE_TAG}:
+            return pickle.loads(base64.b64decode(value[_PICKLE_TAG]))
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+def send_msg(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    """Send one message as a single length-prefixed JSON frame."""
+    body = json.dumps(encode_value(obj), separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ValueError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one frame; raises ``ConnectionError`` on EOF/short read."""
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > MAX_FRAME:
+        raise ConnectionError(
+            f"frame length {length} exceeds MAX_FRAME — corrupt stream?"
+        )
+    body = _recv_exact(sock, length)
+    obj = decode_value(json.loads(body.decode("utf-8")))
+    if not isinstance(obj, dict):
+        raise ConnectionError("malformed frame: body is not an object")
+    return obj

@@ -21,6 +21,13 @@ available first:
   the pool's dispatch (the fallback saves the builds, not the copies);
 * **in-process** (``workers == 1``): the object itself is passed through.
 
+Which transport a sweep gets is an *executor capability*, not a user
+choice: backends advertise ``supports_shm``, and the runner pins the
+store to the pickle transport for any backend whose workers cannot map
+this host's memory (``SocketExecutor`` — remote processes can never
+attach a coordinator-local segment, so shared graphs always ride the
+wire pickled, once per sharing trial).
+
 Construction itself can happen on *either* side of the process boundary.
 The parent builds in-process (:meth:`GraphStore.get`, or
 :meth:`GraphStore.publish` to move the bytes into a segment), but the

@@ -310,6 +310,23 @@ STAGES = ("build_graph", "run_algorithm", "verify", "metrics")
 BUILD_KIND = "graph_build"
 
 
+def payload_label(payload: Dict[str, Any]) -> str:
+    """Human-readable identifier of any executor payload.
+
+    Executors report failures in terms of payloads (a disconnected
+    worker's in-flight work, a retry budget running out), and "payload
+    17" helps nobody — this renders the underlying trial's label, with a
+    ``build:`` prefix for build-only payloads.
+    """
+    try:
+        label = TrialSpec.from_dict(payload["trial"]).label()
+    except (KeyError, TypeError, ValueError):
+        return "<malformed payload>"
+    if payload.get("kind") == BUILD_KIND:
+        return f"build:{label}"
+    return label
+
+
 def execute_build(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Pool entry point for a build-only payload.
 

@@ -16,11 +16,19 @@ Execution plan for one sweep:
    result and releases that graph's trials the moment it lands.  Graphs
    only one trial uses are built by the worker running that trial, so
    unshared construction keeps the pool's parallelism;
-4. fan the work out over one persistent ``multiprocessing`` pool with
-   ``imap_unordered``, fed by a **lazy generator**: build payloads first,
-   then unshared trials, then each sharing trial as its graph becomes
-   ready.  Nothing materialises the whole sweep up front, so at any moment
-   the parent holds only the graphs whose trials are still ahead of it;
+4. fan the work out through an :class:`~.executors.base.Executor` — the
+   transport seam this module schedules *onto*, never into.  The default
+   is :class:`~.executors.local.LocalPoolExecutor` (one persistent
+   ``multiprocessing`` pool, ``imap_unordered``) for ``workers > 1`` and
+   :class:`~.executors.local.SerialExecutor` otherwise;
+   :class:`~.executors.socket.SocketExecutor` fans the same payloads out
+   to workers on other hosts.  Every backend is fed by the same **lazy
+   generator**: build payloads first, then unshared trials, then each
+   sharing trial as its graph becomes ready.  Nothing materialises the
+   whole sweep up front, so at any moment the parent holds only the
+   graphs whose trials are still ahead of it.  Backends that cannot share
+   the parent's memory (``supports_shm`` False — remote workers) flip the
+   GraphStore onto the pickle transport automatically;
 5. persist every fresh record **as it arrives** (single writer — the
    parent; the workers never touch the cache), so a crashed or interrupted
    sweep resumes from every trial that finished, and return everything in
@@ -31,25 +39,30 @@ derived from the trial key, the shared graph a worker attaches is
 byte-identical to the one a rebuild would produce, and results are
 reordered to spec order after the unordered parallel collection — so a
 sweep's aggregate output is byte-identical whether it ran serial, parallel,
-via shared memory, via the pickle fallback, with builds overlapped or
-prebuilt, or entirely from cache.
+via shared memory, via the pickle fallback, over sockets to another host,
+with builds overlapped or prebuilt, or entirely from cache.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import queue
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from ..errors import InvalidParameterError
 from .cache import ResultCache
+from .executors import (
+    Executor,
+    LocalPoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .graphstore import GraphStore
-from .registry import BUILD_KIND, execute_payload
+from .registry import BUILD_KIND
 from .spec import SweepSpec, TrialSpec, graph_multiplicity
 
 __all__ = ["TrialResult", "SweepResult", "run_sweep", "default_workers"]
@@ -98,6 +111,9 @@ class SweepResult:
     graph_builds: int = 0
     #: trials that reused a graph another consumer already materialised
     graph_reuses: int = 0
+    #: name of the execution backend that ran the pending trials
+    #: ("serial"/"pool"/"socket"; "" when everything came from cache)
+    executor: str = ""
     #: wall seconds spent inside the family builders for shared graphs,
     #: wherever they ran (parent or workers)
     graph_build_s: float = 0.0
@@ -157,19 +173,81 @@ def _segment_name(nonce: str, index: int) -> str:
     return f"rg{os.getpid():x}-{nonce}-{index:x}"
 
 
-def _run_pool(
+def _resolve_executor(
+    executor: Union[None, str, Executor],
+    workers: int,
+    pending_count: int,
+) -> "tuple[Executor, bool]":
+    """Turn ``run_sweep``'s ``executor`` argument into a live backend.
+
+    Returns ``(backend, owned)`` — ``owned`` backends were constructed
+    here and are closed by the runner; caller-supplied instances stay
+    open (a socket coordinator's worker fleet outlives one sweep).
+
+    ``None`` keeps the engine's historical behaviour exactly: in-process
+    serial execution unless both ``workers > 1`` and more than one trial
+    is pending, in which case one local pool sized ``min(workers,
+    pending)``.
+    """
+    if executor is None:
+        if workers > 1 and pending_count > 1:
+            return LocalPoolExecutor(min(workers, pending_count)), True
+        return SerialExecutor(), True
+    if isinstance(executor, str):
+        return make_executor(executor, workers=max(workers, 1)), True
+    if isinstance(executor, Executor):
+        return executor, False
+    raise InvalidParameterError(
+        f"run_sweep: executor must be None, a name, or an Executor "
+        f"instance, got {type(executor).__name__}"
+    )
+
+
+def _run_in_process(
     pending: List[TrialSpec],
     store: Optional[GraphStore],
-    workers: int,
+    executor: Executor,
+    absorb: Callable[[dict], None],
+) -> None:
+    """In-process scheduling: graphs handed over by reference, one payload
+    at a time, evicting each graph with its last pending trial.
+
+    The payload stream is lazy, so with the serial backend each graph is
+    materialised only when its trial is next — peak memory is one graph
+    plus whatever sharing trials still lie ahead, same as ever.
+    """
+    remaining = graph_multiplicity(pending) if store is not None else {}
+
+    def stream():
+        for t in pending:
+            payload = {"trial": t.to_dict(), "graph": None}
+            if store is not None:
+                gkey = t.graph_key()
+                payload["graph"] = store.get(t)
+                payload["graph_source"] = "store"
+                remaining[gkey] -= 1
+                if remaining[gkey] == 0:
+                    store.discard(gkey)
+            yield payload
+
+    for rec in executor.submit(stream()):
+        absorb(rec)
+
+
+def _run_distributed(
+    pending: List[TrialSpec],
+    store: Optional[GraphStore],
+    executor: Executor,
     absorb: Callable[[dict], None],
     say: Callable[[str], None],
     name: str,
     overlap_builds: bool,
     tracer=None,
 ) -> bool:
-    """Pool-mode scheduling: overlapped builds + lazily streamed trials.
+    """Distributed scheduling: overlapped builds + lazily streamed trials,
+    fanned out through any non-in-process executor (local pool or socket).
 
-    Returns True when shared builds actually overlapped pool execution.
+    Returns True when shared builds actually overlapped execution.
     """
     multiplicity = graph_multiplicity(pending) if store is not None else {}
     sharing: Dict[str, List[TrialSpec]] = {}
@@ -187,8 +265,12 @@ def _run_pool(
     if store is not None and build_order:
         transport = " via shared memory" if store.use_shm else " via pickled payloads"
     if overlap:
+        target = (
+            "the pool" if executor.locality == "local"
+            else f"{executor.name} workers"
+        )
         say(f"{name}: {len(build_order)} shared graph build(s) dispatched "
-            f"to the pool{transport}")
+            f"to {target}{transport}")
     elif build_order:
         # legacy shape (kept as the A/B baseline): every shared graph is
         # built in the parent before the first trial is dispatched
@@ -215,23 +297,24 @@ def _run_pool(
         for gkey in build_order:
             ready.put(gkey)
 
-    pool_size = min(workers, len(pending))
+    parallelism = executor.parallelism()
     if tracer is not None:
         tracer.emit(
             "pool",
             "start",
-            size=pool_size,
+            size=min(parallelism, len(pending)),
+            executor=executor.name,
             overlap=overlap,
             shared_graphs=len(build_order),
             solo_trials=len(solo),
         )
     # backpressure: at most this many builds dispatched beyond the ones
     # whose trials have been streamed.  Enough to keep every worker busy,
-    # but a fast pool can never pile more than ``window + 1`` undispatched
-    # graphs into the parent (the no-shm memory bound the lazy stream
-    # exists for) — without it, tiny builds returning faster than trials
-    # dispatch would accumulate every shared graph at once.
-    window = pool_size + 2
+    # but a fast backend can never pile more than ``window + 1``
+    # undispatched graphs into the parent (the no-shm memory bound the
+    # lazy stream exists for) — without it, tiny builds returning faster
+    # than trials dispatch would accumulate every shared graph at once.
+    window = parallelism + 2
 
     def _build_payload(gkey):
         return {
@@ -243,12 +326,13 @@ def _run_pool(
     def stream():
         """The lazy payload feed ``imap_unordered`` consumes.
 
-        A priming window of builds goes out first so the pool starts them
-        immediately; unshared trials fill the remaining workers while
+        A priming window of builds goes out first so the executor starts
+        them immediately; unshared trials fill the remaining workers while
         builds are in flight; each sharing trial is yielded the moment its
         graph is ready — and its graph's in-process copy is dropped with
         its last payload, with one more build dispatched in its place.
-        Runs on the pool's task-handler thread.
+        Runs on the executor's dispatcher thread (the pool's task-handler
+        thread, or the socket coordinator's dispatch loop).
         """
         dispatched = 0
         if overlap:
@@ -276,29 +360,32 @@ def _run_pool(
                 yield _build_payload(build_order[dispatched])
                 dispatched += 1
 
-    with multiprocessing.Pool(pool_size) as pool:
-        try:
-            for rec in pool.imap_unordered(execute_payload, stream(), chunksize=1):
-                if rec.get("kind") == BUILD_KIND:
-                    gkey = rec["graph_key"]
-                    if rec.get("shm_name"):
-                        store.adopt_segment(
-                            gkey,
-                            rec["shm_name"],
-                            name=rec["name"],
-                            arboricity_bound=rec["arboricity_bound"],
-                            params=rec["params"],
-                            build_s=rec["build_s"],
-                        )
-                    else:
-                        store.adopt_graph(gkey, rec["graph"], build_s=rec["build_s"])
-                    ready.put(gkey)
+    it = executor.submit(stream())
+    try:
+        for rec in it:
+            if rec.get("kind") == BUILD_KIND:
+                gkey = rec["graph_key"]
+                if rec.get("shm_name"):
+                    store.adopt_segment(
+                        gkey,
+                        rec["shm_name"],
+                        name=rec["name"],
+                        arboricity_bound=rec["arboricity_bound"],
+                        params=rec["params"],
+                        build_s=rec["build_s"],
+                    )
                 else:
-                    absorb(rec)
-        except BaseException:
-            # unblock the task-handler thread before Pool.__exit__ joins it
-            abort.set()
-            raise
+                    store.adopt_graph(gkey, rec["graph"], build_s=rec["build_s"])
+                ready.put(gkey)
+            else:
+                absorb(rec)
+    finally:
+        # unblock the dispatcher thread *before* closing the iterator:
+        # backend teardown (Pool.__exit__, the socket dispatch loop) joins
+        # the thread consuming ``stream()``, so an abandoned ``ready``
+        # wait would deadlock the exception path
+        abort.set()
+        it.close()
     return overlap
 
 
@@ -311,6 +398,7 @@ def run_sweep(
     share_graphs: bool = True,
     overlap_builds: bool = True,
     trace=None,
+    executor: Union[None, str, Executor] = None,
 ) -> SweepResult:
     """Run every trial of ``spec``, reusing ``cache`` when given.
 
@@ -320,7 +408,8 @@ def run_sweep(
         Pool size for cache misses.  ``1`` runs in-process (no pool at
         all — the mode tests and benchmarks use); ``n > 1`` streams trials
         through one persistent ``multiprocessing.Pool``.  Anything below 1
-        is an error — never a silent fall-through to serial.
+        is an error — never a silent fall-through to serial.  Ignored when
+        ``executor`` names or supplies a non-pool backend.
     progress:
         Optional callback receiving one human-readable line per event
         (used by the CLI for ``-v``-style output).
@@ -347,6 +436,17 @@ def run_sweep(
         dispatch; see :mod:`repro.obs.trace` for the schema and
         ``repro report trace`` for the summarizer.  ``None`` (default)
         emits nothing.
+    executor:
+        The execution backend for cache misses.  ``None`` (default) keeps
+        the engine's historical behaviour: serial in-process execution,
+        or one local ``multiprocessing`` pool when ``workers > 1`` and
+        more than one trial is pending.  A name from
+        :data:`~.executors.EXECUTOR_NAMES` constructs (and closes) that
+        backend; a live :class:`~.executors.base.Executor` instance is
+        used as-is and left open, so one socket coordinator's worker
+        fleet can serve many sweeps.  Backends without ``supports_shm``
+        (remote workers) force the GraphStore onto the pickle transport.
+        Records are byte-identical whichever backend runs the trials.
     """
     if not isinstance(workers, int) or workers < 1:
         raise InvalidParameterError(
@@ -365,7 +465,7 @@ def run_sweep(
     try:
         return _run_sweep_traced(
             spec, cache, workers, progress, use_shm, share_graphs,
-            overlap_builds, tracer,
+            overlap_builds, tracer, executor,
         )
     finally:
         if own_tracer:
@@ -381,6 +481,7 @@ def _run_sweep_traced(
     share_graphs: bool,
     overlap_builds: bool,
     tracer,
+    executor: Union[None, str, Executor] = None,
 ) -> SweepResult:
     t0 = time.perf_counter()
     trials = spec.trials()
@@ -389,16 +490,30 @@ def _run_sweep_traced(
     if tracer is not None:
         from ..obs.topology import topology
 
+        requested = (
+            executor if isinstance(executor, str)
+            else executor.name if isinstance(executor, Executor)
+            else "auto"
+        )
         tracer.emit(
             "sweep",
             "start",
             sweep=spec.name,
             trials=len(trials),
             workers=workers,
+            executor=requested,
             share_graphs=share_graphs,
             overlap_builds=overlap_builds,
             topology=topology(),
         )
+
+    if share_graphs and len(trials) > 1 and spec.graph_multiplicity() <= 1:
+        # scenario-derived seeds fold the algorithm cell into the graph
+        # seed, so e.g. num_seeds ablations never share a graph: the
+        # GraphStore would add bookkeeping without any build reuse
+        say(f"{spec.name}: warning: share_graphs=True but no two trials "
+            f"share a graph (every trial derives a distinct graph seed) — "
+            f"graph sharing will not save any builds")
 
     records: Dict[str, dict] = {}
     cached_keys = set()
@@ -430,10 +545,12 @@ def _run_sweep_traced(
     graph_reuses = 0
     graph_build_s = 0.0
     build_overlap = False
+    executor_name = ""
     if pending:
         say(f"{spec.name}: computing {len(pending)} trial(s), "
             f"{len(cached_keys)} cached")
-        pool_mode = workers > 1 and len(pending) > 1
+        backend, owned = _resolve_executor(executor, workers, len(pending))
+        executor_name = backend.name
         on_event = None
         if tracer is not None:
             # The store lives in the parent (workers only attach), so its
@@ -441,8 +558,11 @@ def _run_sweep_traced(
             def on_event(event: str, **fields) -> None:
                 tracer.emit("graphstore", event, **fields)
 
+        # remote workers can never attach this host's shm segments: any
+        # backend without shm support pins the store to pickle transport
+        effective_use_shm = False if not backend.supports_shm else use_shm
         store = (
-            GraphStore(use_shm=use_shm, on_event=on_event)
+            GraphStore(use_shm=effective_use_shm, on_event=on_event)
             if share_graphs
             else None
         )
@@ -462,10 +582,12 @@ def _run_sweep_traced(
                 label = TrialSpec.from_dict(rec["trial"]).label()
                 prov = rec.get("provenance", {})
                 pid = prov.get("pid")
+                worker = prov.get("worker")
                 for stage, dur in rec.get("stages", {}).items():
                     tracer.emit(
                         "stage", "span", name=stage, dur_s=dur,
-                        trial=label, pid=pid,
+                        trial=label, pid=pid, worker=worker,
+                        executor=backend.name,
                     )
                 tracer.emit(
                     "trial",
@@ -475,6 +597,8 @@ def _run_sweep_traced(
                     elapsed_s=rec.get("elapsed_s"),
                     graph_source=prov.get("graph_source", ""),
                     pid=pid,
+                    worker=worker,
+                    executor=backend.name,
                 )
             done += 1
             if progress is not None:  # label/format only when watched
@@ -483,25 +607,13 @@ def _run_sweep_traced(
                          f"({rec['elapsed_s']:.2f}s)")
 
         try:
-            if pool_mode:
-                build_overlap = _run_pool(
-                    pending, store, workers, absorb, say, spec.name,
+            if backend.locality == "in-process":
+                _run_in_process(pending, store, backend, absorb)
+            else:
+                build_overlap = _run_distributed(
+                    pending, store, backend, absorb, say, spec.name,
                     overlap_builds, tracer,
                 )
-            else:
-                # serial: graphs are handed over in-process, one payload at
-                # a time, evicting each graph with its last pending trial
-                remaining = graph_multiplicity(pending) if store is not None else {}
-                for t in pending:
-                    payload = {"trial": t.to_dict(), "graph": None}
-                    if store is not None:
-                        gkey = t.graph_key()
-                        payload["graph"] = store.get(t)
-                        payload["graph_source"] = "store"
-                        remaining[gkey] -= 1
-                        if remaining[gkey] == 0:
-                            store.discard(gkey)
-                    absorb(execute_payload(payload))
             if store is not None:
                 graph_builds = store.builds
                 graph_reuses = store.reuses
@@ -509,6 +621,8 @@ def _run_sweep_traced(
         finally:
             if store is not None:
                 store.close()
+            if owned:
+                backend.close()
     else:
         say(f"{spec.name}: all {len(trials)} trial(s) served from cache")
 
@@ -541,6 +655,7 @@ def _run_sweep_traced(
         graph_reuses=graph_reuses,
         graph_build_s=round(graph_build_s, 6),
         build_overlap=build_overlap,
+        executor=executor_name,
     )
     if tracer is not None:
         tracer.emit(
@@ -549,6 +664,7 @@ def _run_sweep_traced(
             sweep=spec.name,
             trials=sweep_result.num_trials,
             workers=workers,
+            executor=executor_name,
             cache_hits=sweep_result.cache_hits,
             cache_misses=sweep_result.cache_misses,
             graph_builds=sweep_result.graph_builds,

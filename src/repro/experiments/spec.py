@@ -196,6 +196,17 @@ class SweepSpec:
             out.extend(sc.trials())
         return out
 
+    def graph_multiplicity(self) -> int:
+        """The largest number of trials consuming any one graph instance.
+
+        ``1`` means no graph is shared — scenario-derived seeds fold the
+        algorithm cell into the graph seed, so e.g. ``num_seeds``
+        ablations never share — and ``share_graphs`` can save nothing.
+        ``0`` for an empty sweep.
+        """
+        counts = graph_multiplicity(self.trials())
+        return max(counts.values()) if counts else 0
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,

@@ -14,9 +14,11 @@ parent process emits one JSON object per line for every observable event:
   "mint"|"evict"|"close", "graph": ...}`` — GraphStore lifecycle;
 * ``{"kind": "stage", "event": "span", "name": "build_graph"|
   "run_algorithm"|"verify"|"metrics", "dur_s": ..., "trial": ...,
-  "pid": ...}`` — one span per executed stage of every fresh trial
-  (worker stage timings are re-emitted by the parent when the record is
-  absorbed, preserving the single-writer invariant);
+  "pid": ..., "worker": ..., "executor": ...}`` — one span per executed
+  stage of every fresh trial, tagged with the executor backend and the
+  executor-assigned worker id where there is one (socket workers; pid
+  otherwise).  Worker stage timings are re-emitted by the parent when
+  the record is absorbed, preserving the single-writer invariant;
 * ``{"kind": "trial", "event": "complete", ...}`` — one per fresh trial;
 * ``{"kind": "pool", "event": "start", "size": ...}`` — pool dispatch.
 
@@ -106,8 +108,11 @@ def summarize_trace(path: str) -> Dict[str, Any]:
 
     Returns ``{"events", "sweeps", "stages", "cache", "graphstore",
     "workers"}`` where ``stages`` maps stage name to count/total/mean
-    seconds and ``workers`` maps pid to trials completed and busy
-    seconds (utilization = busy time / sweep wall time).
+    seconds and ``workers`` maps a worker identity to trials completed
+    and busy seconds (utilization = busy time / sweep wall time).  The
+    identity is the executor-assigned worker id when spans carry one
+    (socket workers: ``w1``, ``w2``, …) and the worker pid otherwise —
+    pids from different hosts could collide, worker ids never do.
     """
     events = read_trace(path)
     sweeps: List[Dict[str, Any]] = []
@@ -140,14 +145,14 @@ def summarize_trace(path: str) -> Dict[str, Any]:
             s = stages.setdefault(name, {"count": 0, "total_s": 0.0})
             s["count"] += 1
             s["total_s"] += dur
-            pid = ev.get("pid")
-            if pid is not None:
-                w = workers.setdefault(pid, {"trials": 0, "busy_s": 0.0})
+            who = ev.get("worker") or ev.get("pid")
+            if who is not None:
+                w = workers.setdefault(who, {"trials": 0, "busy_s": 0.0})
                 w["busy_s"] += dur
         elif kind == "trial" and event == "complete":
-            pid = ev.get("pid")
-            if pid is not None:
-                w = workers.setdefault(pid, {"trials": 0, "busy_s": 0.0})
+            who = ev.get("worker") or ev.get("pid")
+            if who is not None:
+                w = workers.setdefault(who, {"trials": 0, "busy_s": 0.0})
                 w["trials"] += 1
     for s in stages.values():
         s["mean_s"] = s["total_s"] / s["count"] if s["count"] else 0.0
@@ -225,17 +230,18 @@ def render_trace_report(path: str) -> str:
             except (TypeError, ValueError):
                 pass
         w_rows = []
-        for pid, w in sorted(summary["workers"].items(), key=lambda kv: str(kv[0])):
+        for who, w in sorted(summary["workers"].items(), key=lambda kv: str(kv[0])):
             share = (w["busy_s"] / wall) if wall > 0 else 0.0
             w_rows.append(
-                [pid, int(w["trials"]), w["busy_s"], f"{share:.0%}"]
+                [who, int(w["trials"]), w["busy_s"], f"{share:.0%}"]
             )
         blocks.append(
             render_table(
                 "worker utilization",
-                ["pid", "trials", "busy_s", "of wall"],
+                ["worker", "trials", "busy_s", "of wall"],
                 w_rows,
-                note="busy time is the sum of stage spans per worker pid",
+                note="busy time is the sum of stage spans per worker "
+                "(executor worker id when present, else pid)",
             )
         )
 

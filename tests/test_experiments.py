@@ -158,7 +158,7 @@ class TestCache:
         # a fresh instance reloads from disk
         again = ResultCache(path)
         assert again.get(rec["key"]) == rec
-        assert again.stats() == (1, 0)
+        assert again.stats() == (1, 0, 0)
         assert len(again) == 1
 
     def test_sharding_by_key_prefix(self, tmp_path):
@@ -182,6 +182,8 @@ class TestCache:
         again = ResultCache(path)
         assert again.get(good["key"]) == good
         assert again.corrupt_lines == 1
+        # the damage is surfaced, not silently swallowed
+        assert again.stats() == (1, 0, 1)
 
     def test_last_writer_wins_and_compact(self, tmp_path):
         path = str(tmp_path / "cache")
@@ -294,13 +296,13 @@ class TestRunner:
         )
         cache = ResultCache(str(tmp_path / "cache"))
         first = run_sweep(dup, cache=cache)
-        assert cache.stats() == (0, 1)
-        assert cache.stats() == (first.cache_hits, first.cache_misses)
+        assert cache.stats() == (0, 1, 0)
+        assert cache.stats()[:2] == (first.cache_hits, first.cache_misses)
 
         cache2 = ResultCache(str(tmp_path / "cache"))
         second = run_sweep(dup, cache=cache2)
-        assert cache2.stats() == (1, 0)
-        assert cache2.stats() == (second.cache_hits, second.cache_misses)
+        assert cache2.stats() == (1, 0, 0)
+        assert cache2.stats()[:2] == (second.cache_hits, second.cache_misses)
         assert second.hit_rate == 1.0
 
     def test_interrupted_sweep_resumes(self, tmp_path):
@@ -521,16 +523,28 @@ class TestStreamingPersistence:
         assert again.cache_misses == 2
         assert all(tr.metrics["verified"] for tr in again)
 
-    def test_kill_mid_sweep_resumes_from_disk(self, tmp_path):
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            [],
+            ["--executor", "socket", "--spawn-workers", "2"],
+        ],
+        ids=["pool", "socket"],
+    )
+    def test_kill_mid_sweep_resumes_from_disk(self, tmp_path, extra):
         """The real thing: SIGKILL a sweep process, then resume.
 
         Streaming writes mean whatever finished before the kill is on disk
         (each record is one atomic append); the rerun must serve exactly
-        those trials from cache and compute only the remainder.
+        those trials from cache and compute only the remainder.  Runs once
+        through the default local pool and once through a socket
+        coordinator with loopback workers — killing the coordinator must
+        lose nothing that completed either (and its orphaned workers exit
+        on their own when the connection drops).
         """
         cache_dir = str(tmp_path / "cache")
         args = ["sweep", "--n", "150", "--seeds", "2", "--workers", "2",
-                "--cache-dir", cache_dir]
+                "--cache-dir", cache_dir, *extra]
         env = dict(os.environ, PYTHONPATH=os.pathsep.join(
             filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
                           os.environ.get("PYTHONPATH", "")])

@@ -1,8 +1,9 @@
 """Acceptance: sweep records are byte-identical — same content keys, same
 metrics — across every execution path of the staged engine: serial (shared
 in-process store), parallel over shared memory, parallel over the pickle
-fallback, rebuild-per-trial (the pre-staged engine's shape), and with
-shared-graph builds overlapped into the pool or prebuilt in the parent.
+fallback, rebuild-per-trial (the pre-staged engine's shape), with
+shared-graph builds overlapped into the pool or prebuilt in the parent,
+and over a socket coordinator with attached worker processes.
 
 Stage timings and provenance legitimately differ per path; they live
 outside ``metrics`` precisely so everything the cache and the aggregate
@@ -16,11 +17,13 @@ import pytest
 from repro.experiments import (
     ResultCache,
     ScenarioSpec,
+    SocketExecutor,
     SweepSpec,
     grid_scenarios,
     report_table,
     run_sweep,
     shm_available,
+    spawn_local_workers,
 )
 
 
@@ -99,6 +102,36 @@ class TestExecutionPathEquivalence:
             assert res.graph_build_s > 0.0
         assert rebuild.graph_builds == 0
         assert rebuild.graph_reuses == 0
+
+    def test_socket_loopback_matches_every_local_path(self):
+        """The seventh execution path: the same spec through a socket
+        coordinator with two loopback ``repro worker`` processes.  Remote
+        workers cannot attach the parent's shm, so shared graphs ride the
+        wire pickled — and the records are still byte-identical."""
+        spec = _spec()
+        serial = run_sweep(spec)
+        ex = SocketExecutor(min_workers=2)
+        procs = spawn_local_workers(ex.host, ex.port, 2)
+        try:
+            ex.wait_for_workers(2, timeout=60)
+            remote = run_sweep(spec, executor=ex)
+        finally:
+            ex.close()
+            for p in procs:
+                p.terminate()
+            for p in procs:
+                try:
+                    p.wait(timeout=10)
+                except Exception:
+                    p.kill()
+        assert _fingerprint(remote) == _fingerprint(serial)
+        assert report_table(remote) == report_table(serial)
+        assert {t.graph_source for t in remote} == {"pickled"}
+        assert remote.build_overlap
+        assert remote.graph_builds == 4
+        assert remote.graph_reuses == remote.num_trials - 4
+        assert remote.executor == "socket"
+        assert serial.executor == "serial"
 
     def test_cache_warmed_by_one_path_serves_every_other(self, tmp_path):
         spec = _spec()

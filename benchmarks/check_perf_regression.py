@@ -21,8 +21,11 @@ on a box with fewer cores, those floors are *skipped* — visibly, with a
 GitHub Actions warning annotation when running in CI — instead of tripping
 on machine shape rather than regression (the ``overlap_vs_*`` speedups
 are meaningless on a 2-worker box when the floor was calibrated on 4
-cores).  Every BENCH record carries its host shape in a ``topology``
-block (see ``perf_record.topology``).
+cores).  Likewise ``memory_dependent`` metrics paired with
+``topology.min_mem_gb`` skip on boxes without the RAM the floor was
+calibrated against (the column-engine scale leg holds a million-node
+event-engine run in memory).  Every BENCH record carries its host shape
+in a ``topology`` block (see ``perf_record.topology``).
 
 Absolute floors: a baseline may also declare ``floors`` (metric name →
 minimum value) gated *without* tolerance — used for the telemetry
@@ -74,12 +77,33 @@ def _required_cores(baseline: dict) -> int:
     return 1
 
 
-def _announce_skip(name: str, measured: int, required: int) -> None:
+def _measured_mem_gb(current: dict) -> float:
+    """Physical memory of the box the current record was measured on."""
+    topo = current.get("topology") or {}
+    mem = topo.get("mem_gb")
+    if isinstance(mem, (int, float)) and mem > 0:
+        return float(mem)
+    try:
+        return os.sysconf("SC_PHYS_PAGES") * os.sysconf("SC_PAGE_SIZE") / 2**30
+    except (ValueError, OSError, AttributeError):
+        return 0.0
+
+
+def _required_mem_gb(baseline: dict) -> float:
+    """Memory requirement for the baseline's memory-dependent floors."""
+    topo = baseline.get("topology") or {}
+    req = topo.get("min_mem_gb")
+    if isinstance(req, (int, float)) and req > 0:
+        return float(req)
+    return 0.0
+
+
+def _announce_skip(name: str, measured, required, unit: str) -> None:
     msg = (
-        f"perf gate: skipped {name} — measured on {measured} core(s), "
+        f"perf gate: skipped {name} — measured on {measured} {unit}, "
         f"floor calibrated for >= {required}"
     )
-    print(f"SKIP {name}: {measured} < {required} core(s)")
+    print(f"SKIP {name}: {measured} < {required} {unit}")
     if os.environ.get("GITHUB_ACTIONS"):
         # a visible annotation on the workflow run, not just a log line
         print(f"::warning title=perf gate skipped::{msg}")
@@ -113,10 +137,26 @@ def main(argv=None) -> int:
     cur_metrics = current.get("metrics", {})
     base_metrics = baseline.get("metrics", {})
     parallel_dependent = set(baseline.get("parallelism_dependent", []))
+    memory_dependent = set(baseline.get("memory_dependent", []))
     floors = baseline.get("floors", {})
     measured = _measured_cores(current)
     required = _required_cores(baseline)
+    measured_mem = _measured_mem_gb(current)
+    required_mem = _required_mem_gb(baseline)
     only = set(args.only) if args.only else None
+
+    def topology_skip(name: str) -> bool:
+        if name in parallel_dependent and measured < required:
+            _announce_skip(name, measured, required, "core(s)")
+            return True
+        if (
+            name in memory_dependent
+            and measured_mem
+            and measured_mem < required_mem
+        ):
+            _announce_skip(name, measured_mem, required_mem, "GiB")
+            return True
+        return False
 
     failures = []
     checked = 0
@@ -128,8 +168,7 @@ def main(argv=None) -> int:
             continue
         if not isinstance(base_val, (int, float)) or base_val <= 0:
             continue
-        if name in parallel_dependent and measured < required:
-            _announce_skip(name, measured, required)
+        if topology_skip(name):
             skipped += 1
             continue
         cur_val = cur_metrics.get(name)
@@ -153,8 +192,7 @@ def main(argv=None) -> int:
             continue
         if not isinstance(floor, (int, float)):
             continue
-        if name in parallel_dependent and measured < required:
-            _announce_skip(name, measured, required)
+        if topology_skip(name):
             skipped += 1
             continue
         cur_val = cur_metrics.get(name)

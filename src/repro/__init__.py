@@ -36,11 +36,21 @@ from .graphs import (
     GeneratedGraph,
     Graph,
     forest_union,
+    forest_union_bulk,
     planar_triangulation,
     random_regular,
     random_tree,
 )
-from .simulator import NodeContext, NodeProgram, RoundLedger, SynchronousNetwork
+from .simulator import (
+    Engine,
+    NodeContext,
+    NodeProgram,
+    RoundLedger,
+    SynchronousNetwork,
+    engine_names,
+    get_engine,
+    register_engine,
+)
 from .types import (
     ColorAssignment,
     Decomposition,
@@ -72,7 +82,33 @@ __all__ = [
     "InvalidParameterError",
     "VerificationError",
     "forest_union",
+    "forest_union_bulk",
     "random_tree",
     "random_regular",
     "planar_triangulation",
+    "Engine",
+    "register_engine",
+    "engine_names",
+    "get_engine",
+    "ScenarioSpec",
+    "SweepSpec",
+    "run_sweep",
 ]
+
+# The sweep layer imports this package (its workers resolve algorithms and
+# the network by name), so re-exporting it eagerly would be a cycle.  PEP 562
+# lazy attributes break it: ``repro.run_sweep`` resolves on first touch.
+_EXPERIMENT_EXPORTS = {
+    "ScenarioSpec": "spec",
+    "SweepSpec": "spec",
+    "run_sweep": "runner",
+}
+
+
+def __getattr__(name: str):
+    mod = _EXPERIMENT_EXPORTS.get(name)
+    if mod is not None:
+        from importlib import import_module
+
+        return getattr(import_module(f".experiments.{mod}", __name__), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

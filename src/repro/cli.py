@@ -244,6 +244,17 @@ def _cmd_sweep(args) -> int:
 
     from .experiments import ALGORITHMS, FAMILIES
 
+    if args.scheduler:
+        from .simulator import engine_names
+
+        if args.scheduler not in engine_names():
+            raise SystemExit(
+                f"unknown scheduler {args.scheduler!r}; "
+                f"registered engines: {', '.join(engine_names())}"
+            )
+        for sc in spec.scenarios:
+            sc.scheduler = args.scheduler
+
     for sc in spec.scenarios:
         if sc.family not in FAMILIES:
             raise SystemExit(
@@ -440,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--cache-dir", default=None,
                          help="result cache directory "
                          f"(default: $REPRO_CACHE_DIR or ./.repro-cache)")
+    p_sweep.add_argument("--scheduler", default="", metavar="ENGINE",
+                         help="run every scenario on this simulator engine "
+                         "(overrides any per-scenario setting; see the "
+                         "engine registry for names)")
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="recompute everything; do not read or write the cache")
     p_sweep.add_argument("--report", action="store_true",

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 
 from ..simulator.context import NodeContext
 from ..simulator.ledger import RoundLedger
+from ..simulator.message import payload_size
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
 from ..types import (
@@ -69,6 +70,75 @@ class _ForestLabelProgram(NodeProgram):
             if isinstance(payload, tuple) and payload[0] == "forest"
         }
         ctx.halt((self._level_of[ctx.node], self._labels, in_labels))
+
+    def column_kernel(self, col):
+        """Vectorized orientation + labeling: two array passes, no rounds loop.
+
+        The (level, id)-lexicographic orientation is one comparison over
+        the CSR-expanded edge list; forest labels are each out-edge's rank
+        within its row (rows are sorted ascending, matching the scalar
+        program's ``sorted`` + ``enumerate``).
+        """
+        np = col.np
+        level_of = self._level_of
+
+        def run() -> None:
+            n = col.n
+            if n == 0:
+                col.note_round(0, 0, 0)
+                return
+            nbr = col.neighbors
+            deg = col.degrees
+            levels = np.fromiter(
+                (level_of[v] for v in range(n)), np.int64, count=n
+            )
+            m2 = len(nbr)  # directed entries: 2m level messages in round 0
+            if col.count_bytes and m2:
+                sizes = col.int_payload_sizes(levels)
+                b0 = int((deg * sizes).sum())
+                has_nbrs = deg > 0
+                mx0 = int(sizes[has_nbrs].max())
+            else:
+                b0 = mx0 = 0
+            col.note_round(0, n, m2, b0, mx0)
+
+            src = col.row_sources()
+            lv_n, lv_s = levels[nbr], levels[src]
+            out_mask = (lv_n > lv_s) | ((lv_n == lv_s) & (nbr > src))
+            sel = np.flatnonzero(out_mask)
+            tails = src[sel]
+            heads = nbr[sel]
+            counts = np.bincount(tails, minlength=n)
+            starts = np.cumsum(counts) - counts
+            # Rank of each out-edge within its (ascending-sorted) row ==
+            # the scalar program's enumerate over sorted out-neighbours.
+            labels = np.arange(len(sel), dtype=np.int64) - starts[tails]
+
+            msgs1 = len(sel)  # one ("forest", f) per out-edge
+            if col.count_bytes and msgs1:
+                tag_overhead = payload_size(("forest", 0)) - payload_size(0)
+                fsizes = col.int_payload_sizes(labels) + tag_overhead
+                b1 = int(fsizes.sum())
+                mx1 = int(fsizes.max())
+            else:
+                b1 = mx1 = 0
+            col.note_round(1, n, msgs1, b1, mx1)
+            col.note_round(2, n, 0)
+
+            out_labels = [{} for _ in range(n)]
+            in_labels = [{} for _ in range(n)]
+            for t, h, f in zip(
+                tails.tolist(), heads.tolist(), labels.tolist()
+            ):
+                out_labels[t][h] = f
+                in_labels[h][t] = f
+            lv = levels.tolist()
+            col.outputs = {
+                v: (lv[v], out_labels[v], in_labels[v]) for v in range(n)
+            }
+            col.rounds = 2
+
+        return run
 
 
 def hpartition_orientation(

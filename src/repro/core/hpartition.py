@@ -23,6 +23,7 @@ from typing import Dict
 
 from ..errors import InvalidParameterError, RoundLimitExceeded, SimulationError
 from ..simulator.context import NodeContext
+from ..simulator.message import payload_size
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
 from ..types import HPartition, Vertex
@@ -61,6 +62,60 @@ class HPartitionProgram(NodeProgram):
             ctx.halt(ctx.round_number)  # H-index = peeling iteration (1-based)
         else:
             ctx.idle_until_message()
+
+    def column_kernel(self, col):
+        """Whole-graph peel as numpy columns: one array pass per level.
+
+        Per round: every active node whose active degree is at or below
+        the threshold leaves, broadcasting to its *full* neighbourhood
+        (departed neighbours still receive-and-drop, exactly like the
+        scalar engines count it); survivors' active degrees drop by the
+        number of leaving neighbours.
+        """
+        np = col.np
+        threshold = self._threshold
+
+        def run() -> None:
+            n = col.n
+            deg = col.degrees
+            active = np.ones(n, dtype=bool)
+            active_deg = deg.copy()
+            out = np.zeros(n, dtype=np.int64)
+            leaving_size = payload_size(_LEAVING) if col.count_bytes else 0
+            col.note_round(0, n, 0)
+            remaining = n
+            r = 0
+            while remaining:
+                r += 1
+                if r > col.round_limit:
+                    raise RoundLimitExceeded(col.round_limit, remaining)
+                leave = active & (active_deg <= threshold)
+                n_leave = int(np.count_nonzero(leave))
+                if n_leave == 0:
+                    # Every remaining node sleeps with no wakeup and no
+                    # message in flight — the event engine's eager stall.
+                    raise RoundLimitExceeded(col.round_limit, remaining)
+                msgs = int(deg[leave].sum())
+                col.note_round(
+                    r,
+                    n_leave,
+                    msgs,
+                    msgs * leaving_size,
+                    leaving_size if msgs else 0,
+                )
+                out[leave] = r
+                active &= ~leave
+                remaining -= n_leave
+                if remaining:
+                    targets = col.neighbor_slices(leave)
+                    if len(targets):
+                        active_deg = active_deg - np.bincount(
+                            targets, minlength=n
+                        )
+            col.outputs = dict(enumerate(out.tolist()))
+            col.rounds = r
+
+        return run
 
 
 def degree_threshold(a: int, epsilon: float) -> int:

@@ -17,8 +17,10 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional, Set
 
+from ..errors import RoundLimitExceeded
 from ..simulator.context import NodeContext
 from ..simulator.ledger import RoundLedger
+from ..simulator.message import payload_size
 from ..simulator.network import SynchronousNetwork
 from ..simulator.program import NodeProgram
 from ..types import ColorAssignment, MISResult, Vertex
@@ -62,6 +64,68 @@ class _ColorClassMISProgram(NodeProgram):
             ctx.halt(True)
             return
         self._sleep_until_my_class(ctx)
+
+    def column_kernel(self, col):
+        """Vectorized sweep: only rounds where something happens execute.
+
+        Round r processes (1) losers — undecided nodes adjacent to the
+        previous round's joiners, which halt out (inbox beats own class,
+        as in the scalar program) — and (2) winners — the surviving nodes
+        of color class r, which join and broadcast to their full
+        neighbourhood.  Quiet stretches between color classes are skipped,
+        mirroring the event engine's fast-forward.
+        """
+        np = col.np
+        color_of = self._color_of
+
+        def run() -> None:
+            n = col.n
+            deg = col.degrees
+            colors = np.fromiter(
+                (int(color_of(v)) for v in range(n)), np.int64, count=n
+            )
+            joined = np.zeros(n, dtype=bool)
+            undecided = np.ones(n, dtype=bool)
+            jsize = payload_size(_JOINED) if col.count_bytes else 0
+
+            announce = undecided & (colors == 0)
+            m0 = int(deg[announce].sum())
+            col.note_round(0, n, m0, m0 * jsize, jsize if m0 else 0)
+            joined |= announce
+            undecided &= ~announce
+
+            rounds = 0
+            while undecided.any():
+                if announce.any():
+                    # messages in flight: the very next round executes
+                    r = rounds + 1
+                else:
+                    # all asleep: fast-forward to the earliest due wakeup
+                    r = int(colors[undecided].min())
+                if r > col.round_limit:
+                    raise RoundLimitExceeded(
+                        col.round_limit, int(np.count_nonzero(undecided))
+                    )
+                acted = 0
+                if announce.any():
+                    targets = col.neighbor_slices(announce)
+                    hit = np.zeros(n, dtype=bool)
+                    hit[targets] = True
+                    losers = undecided & hit
+                    acted += int(np.count_nonzero(losers))
+                    undecided &= ~losers
+                winners = undecided & (colors == r)
+                msgs = int(deg[winners].sum())
+                acted += int(np.count_nonzero(winners))
+                joined |= winners
+                undecided &= ~winners
+                announce = winners
+                col.note_round(r, acted, msgs, msgs * jsize, jsize if msgs else 0)
+                rounds = r
+            col.outputs = dict(enumerate(joined.tolist()))
+            col.rounds = rounds
+
+        return run
 
 
 def mis_from_coloring(

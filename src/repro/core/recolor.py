@@ -203,6 +203,97 @@ class RecolorProgram(NodeProgram):
         if self._step_index >= len(self._schedule):
             ctx.halt(self._color)
 
+    def column_kernel(self, col):
+        """Vectorized iterated recoloring (Linial / Kuhn defective).
+
+        Only the all-neighbours conflict configuration vectorizes; a
+        restricted ``conflict_set_of`` (Arb-Kuhn's parents) declines the
+        kernel and runs on the event engine.  Per step: base-q coefficient
+        columns of every node's color, then ascending-α passes — one
+        Horner evaluation over all nodes plus a CSR-segmented agreement
+        count per α — fixing each node at its first point within the
+        defect budget, exactly :func:`_recolor_once`'s scan order.
+        """
+        if self._conflict_set_of is not None:
+            return None
+        np = col.np
+        schedule = self._schedule
+        initial_color_of = self._initial_color_of
+
+        def run() -> None:
+            n = col.n
+            deg = col.degrees
+            nbr = col.neighbors
+            if initial_color_of is None:
+                colors = np.arange(n, dtype=np.int64)
+            else:
+                colors = np.fromiter(
+                    (int(initial_color_of(v)) for v in range(n)),
+                    np.int64,
+                    count=n,
+                )
+            if not schedule or n == 0:
+                col.note_round(0, n, 0)
+                col.outputs = dict(enumerate(colors.tolist()))
+                return
+            m2 = len(nbr)
+
+            def broadcast_stats(vals):
+                if col.count_bytes and m2:
+                    sizes = col.int_payload_sizes(vals)
+                    has_nbrs = deg > 0
+                    return int((deg * sizes).sum()), int(sizes[has_nbrs].max())
+                return 0, 0
+
+            b, mx = broadcast_stats(colors)
+            col.note_round(0, n, m2, b, mx)
+            src = col.row_sources()
+            for step_index, step in enumerate(schedule):
+                family = step.family
+                q = family.q
+                bad = colors >= step.colors_in
+                if bad.any():
+                    v = int(np.flatnonzero(bad)[0])
+                    raise SimulationError(
+                        f"node {v}: color {int(colors[v])} outside the "
+                        f"expected space [0, {step.colors_in}) at step "
+                        f"{step_index}"
+                    )
+                digits = []
+                x = colors.copy()
+                for _ in range(family.degree + 1):
+                    digits.append(x % q)
+                    x //= q
+                unfixed = np.ones(n, dtype=bool)
+                new_colors = np.zeros(n, dtype=np.int64)
+                for alpha in range(q):
+                    vals = np.zeros(n, dtype=np.int64)
+                    for coeff in reversed(digits):
+                        vals = (vals * alpha + coeff) % q
+                    agree = vals[nbr] == vals[src]
+                    agreements = np.bincount(src[agree], minlength=n)
+                    ok = unfixed & (agreements <= step.defect_new)
+                    if ok.any():
+                        new_colors[ok] = alpha * q + vals[ok]
+                        unfixed &= ~ok
+                        if not unfixed.any():
+                            break
+                if unfixed.any():
+                    v = int(np.flatnonzero(unfixed)[0])
+                    raise SimulationError(
+                        f"node {v}: no valid recoloring point exists "
+                        f"(family q={q}, degree={family.degree}, defect "
+                        f"budget {step.defect_new}, {int(deg[v])} "
+                        "conflicts) — family selection bug"
+                    )
+                colors = new_colors
+                b, mx = broadcast_stats(colors)
+                col.note_round(step_index + 1, n, m2, b, mx)
+            col.outputs = dict(enumerate(colors.tolist()))
+            col.rounds = len(schedule)
+
+        return run
+
 
 def _recolor_once(
     family: PolynomialFamily,

@@ -402,7 +402,7 @@ def execute_trial(
     if gen is None:
         gen = build_instance(trial)
         graph_source = "built"
-    net = SynchronousNetwork(gen.graph)
+    net = SynchronousNetwork(gen.graph, scheduler=trial.scheduler or "event")
     stages["build_graph"] = time.perf_counter() - t0
     # Algorithm randomness is decorrelated from the structural seed so that
     # e.g. Luby's coin flips are not the same stream that wired the graph.
@@ -425,7 +425,11 @@ def execute_trial(
         "metrics": metrics,
         "elapsed_s": round(sum(recorded.values()), 6),
         "stages": recorded,
-        "provenance": {"graph_source": graph_source, "pid": os.getpid()},
+        "provenance": {
+            "graph_source": graph_source,
+            "pid": os.getpid(),
+            "scheduler": net.scheduler,
+        },
     }
     # Composite algorithms attach a RoundLedger; serialize the phase
     # breakdown next to metrics, never inside (phases are deterministic,

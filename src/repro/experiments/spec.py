@@ -65,15 +65,21 @@ class TrialSpec:
     seed: int = 0
     family_params: Dict[str, object] = field(default_factory=dict)
     algorithm_params: Dict[str, object] = field(default_factory=dict)
+    #: simulator engine for the trial's network ("" = the default engine);
+    #: omitted from the encoding when empty so legacy cache keys are stable
+    scheduler: str = ""
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        d: Dict[str, object] = {
             "family": self.family,
             "family_params": dict(self.family_params),
             "algorithm": self.algorithm,
             "algorithm_params": dict(self.algorithm_params),
             "seed": self.seed,
         }
+        if self.scheduler:
+            d["scheduler"] = self.scheduler
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "TrialSpec":
@@ -83,6 +89,7 @@ class TrialSpec:
             seed=int(d.get("seed", 0)),
             family_params=dict(d.get("family_params", {})),
             algorithm_params=dict(d.get("algorithm_params", {})),
+            scheduler=str(d.get("scheduler", "")),
         )
 
     def key(self) -> str:
@@ -129,6 +136,10 @@ class ScenarioSpec:
     algorithm_params: Dict[str, object] = field(default_factory=dict)
     seeds: Optional[List[int]] = None
     num_seeds: int = 1
+    #: simulator engine for every trial of the cell ("" = the default);
+    #: a set value flows into each trial's cache key, so engine A/B cells
+    #: of the same workload are cached independently
+    scheduler: str = ""
 
     def resolved_seeds(self) -> List[int]:
         if self.seeds is not None:
@@ -153,6 +164,7 @@ class ScenarioSpec:
                 seed=s,
                 family_params=dict(self.family_params),
                 algorithm_params=dict(self.algorithm_params),
+                scheduler=self.scheduler,
             )
             for s in self.resolved_seeds()
         ]
@@ -168,6 +180,8 @@ class ScenarioSpec:
             d["seeds"] = list(self.seeds)
         else:
             d["num_seeds"] = self.num_seeds
+        if self.scheduler:
+            d["scheduler"] = self.scheduler
         return d
 
     @classmethod
@@ -179,6 +193,7 @@ class ScenarioSpec:
             algorithm_params=dict(d.get("algorithm_params", {})),
             seeds=[int(s) for s in d["seeds"]] if "seeds" in d else None,
             num_seeds=int(d.get("num_seeds", 1)),
+            scheduler=str(d.get("scheduler", "")),
         )
 
 

@@ -8,6 +8,7 @@ accounting via :class:`~repro.simulator.ledger.RoundLedger`.
 """
 
 from .context import NodeContext
+from .engines import Engine, engine_names, get_engine, register_engine
 from .ledger import PhaseRecord, RoundLedger
 from .message import Envelope, payload_size
 from .network import RunResult, SynchronousNetwork
@@ -26,4 +27,8 @@ __all__ = [
     "MessageTrace",
     "TracedMessage",
     "payload_size",
+    "Engine",
+    "register_engine",
+    "engine_names",
+    "get_engine",
 ]

@@ -1,0 +1,531 @@
+"""The execution-engine registry and the two per-node program engines.
+
+:class:`~repro.simulator.network.SynchronousNetwork.run` no longer special-
+cases scheduler names: every engine is an :class:`Engine` registered under a
+name via :func:`register_engine`, and ``run`` dispatches to
+``get_engine(name)``.  Unknown names raise
+:class:`~repro.errors.SimulationError` listing whatever is registered *at
+that moment*, so third-party engines (registered the same way as the
+built-ins) appear in the error message automatically.
+
+Built-in engines:
+
+* ``"dense"`` (:class:`DenseEngine`) — the reference implementation: every
+  still-running node is activated in every round, in ascending vertex
+  order.  The model definition made literal.
+* ``"event"`` (:class:`EventEngine`) — the active-set fast path: nodes that
+  declared quiescence are only activated on message delivery or a due
+  wakeup, and rounds with no activatable node are fast-forwarded in O(1).
+* ``"column"`` (:class:`~repro.simulator.column.ColumnEngine`, registered
+  by :mod:`repro.simulator.column`) — bulk-synchronous numpy execution for
+  programs that provide a vectorized kernel
+  (:meth:`~repro.simulator.program.NodeProgram.column_kernel`); every
+  other program transparently falls back to the event engine.
+
+All engines must produce byte-identical :class:`RunResult`\\ s; the
+parametrised suite ``tests/test_scheduler_equivalence.py`` pins every
+registered engine against the dense reference automatically.
+
+The engine contract
+-------------------
+
+An engine receives an :class:`EngineRun` — the precomputed, engine-agnostic
+run state (participant order, slot ranks, globals, limits, telemetry) — and
+must fill in its result fields (``outputs``, ``rounds``, ``messages``,
+``message_bytes``, ``max_message_bytes``).  The engine is responsible for
+calling ``telemetry.on_run_start`` (with the name of the engine that
+*actually executes*, so fallbacks are observable) and for per-round
+telemetry; ``on_run_end`` is emitted by ``SynchronousNetwork.run`` once the
+``RunResult`` exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import RoundLimitExceeded, SimulationError
+from ..types import Vertex
+from .context import NodeContext
+from .message import payload_size
+from .program import NodeProgram
+
+#: Factory producing one fresh program instance per node.
+ProgramFactory = Callable[[], NodeProgram]
+
+
+class Engine:
+    """Protocol/base class for execution engines.
+
+    Subclasses implement :meth:`execute`, which consumes an
+    :class:`EngineRun` and fills in its result fields.  Register concrete
+    engines with :func:`register_engine` to make them selectable by name.
+    """
+
+    #: Registry name, set by :func:`register_engine`.
+    name: str = ""
+
+    def execute(self, run: "EngineRun") -> None:
+        raise NotImplementedError
+
+
+#: The engine registry: name -> engine instance.
+ENGINES: Dict[str, Engine] = {}
+
+
+def register_engine(name: str) -> Callable[[type], type]:
+    """Class decorator registering an :class:`Engine` subclass under ``name``.
+
+    The class is instantiated once and stored in :data:`ENGINES`; the name
+    becomes valid everywhere a ``scheduler`` is accepted
+    (``SynchronousNetwork``, sweep specs, the CLI).  Registering an existing
+    name replaces the previous engine (latest wins), which is how a test or
+    an experiment can shadow a built-in.
+    """
+
+    def deco(cls: type) -> type:
+        cls.name = name
+        ENGINES[name] = cls()
+        return cls
+
+    return deco
+
+
+def engine_names() -> Tuple[str, ...]:
+    """The currently registered engine names, sorted."""
+    return tuple(sorted(ENGINES))
+
+
+def get_engine(name: str) -> Engine:
+    """Look up a registered engine; unknown names list what exists."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; registered engines: "
+            f"{engine_names()}"
+        ) from None
+
+
+class EngineRun:
+    """Engine-agnostic state for one ``SynchronousNetwork.run`` invocation.
+
+    Built once by ``run`` and handed to the selected engine.  Everything a
+    loop needs is precomputed here (participant order, slot ranks, the
+    effective byte-counting flag); per-node contexts and program instances
+    are *not* — engines that need them call :meth:`build_contexts`, so the
+    column engine's kernel path never materialises n Python objects.
+    """
+
+    __slots__ = (
+        "graph",
+        "program_factory",
+        "order",
+        "active_set",
+        "part_of",
+        "S",
+        "full",
+        "rank",
+        "gp",
+        "round_limit",
+        "count_bytes",
+        "trace",
+        "telemetry",
+        "outputs",
+        "rounds",
+        "messages",
+        "message_bytes",
+        "max_message_bytes",
+    )
+
+    def __init__(
+        self,
+        graph,
+        program_factory: ProgramFactory,
+        *,
+        order: Tuple[Vertex, ...],
+        active_set: Optional[set],
+        part_of: Optional[Mapping[Vertex, Any]],
+        gp: Dict[str, Any],
+        round_limit: int,
+        count_bytes: bool,
+        trace,
+        telemetry,
+    ):
+        self.graph = graph
+        self.program_factory = program_factory
+        self.order = order
+        self.active_set = active_set
+        self.part_of = part_of
+        self.gp = gp
+        self.round_limit = round_limit
+        self.count_bytes = count_bytes
+        self.trace = trace
+        self.telemetry = telemetry
+        # Everything below runs in *slot* space: slot i is the i-th
+        # participant in ascending-id order, and all per-node state lives
+        # in flat lists indexed by slot — no id-keyed dict lookups in the
+        # inner loops.  When the graph has contiguous ids and everyone
+        # participates (the common case), slot == vertex id and the
+        # id→slot map is skipped entirely.
+        self.S = len(order)
+        self.full = active_set is None or len(active_set) == graph.n
+        identity = self.full and getattr(graph, "ids_contiguous", False)
+        self.rank: Optional[Dict[Vertex, int]] = (
+            None if identity else {v: i for i, v in enumerate(order)}
+        )
+        # Result fields, filled by the engine.
+        self.outputs: Dict[Vertex, Any] = {}
+        self.rounds = 0
+        self.messages = 0
+        self.message_bytes = 0
+        self.max_message_bytes = 0
+
+    def build_contexts(self) -> Tuple[List[NodeContext], List[NodeProgram]]:
+        """Materialise one context + program instance per participant.
+
+        Visibility is filtered to participants (and to the same part when a
+        labeling is given).  Unrestricted runs reuse the graph's cached
+        neighbour tuples — no per-run filtering pass.
+        """
+        graph = self.graph
+        active_set = self.active_set
+        part_of = self.part_of
+        gp = self.gp
+        full = self.full
+        program_factory = self.program_factory
+        contexts: List[NodeContext] = []
+        programs: List[NodeProgram] = []
+        for v in self.order:
+            if part_of is not None:
+                label = part_of.get(v)
+                visible = tuple(
+                    u
+                    for u in graph.neighbors(v)
+                    if (active_set is None or u in active_set)
+                    and part_of.get(u) == label
+                )
+                ctx = NodeContext(v, visible, gp)
+            elif not full:
+                visible = tuple(
+                    u for u in graph.neighbors(v) if u in active_set
+                )
+                ctx = NodeContext(v, visible, gp)
+            else:
+                ctx = NodeContext(v, graph.neighbors(v), gp)
+            contexts.append(ctx)
+            programs.append(program_factory())
+        return contexts, programs
+
+
+# ----------------------------------------------------------------------
+# The two per-node-program engines (dense reference + event fast path)
+# ----------------------------------------------------------------------
+def _execute_programs(run: EngineRun, event: bool) -> None:
+    """The shared per-node-program loop: dense when ``event`` is false.
+
+    This is the original ``SynchronousNetwork.run`` body; the two engines
+    differ only in scheduling (who is activated when), never in delivery or
+    accounting, which is what keeps their results byte-identical.
+    """
+    S = run.S
+    rank = run.rank
+    round_limit = run.round_limit
+    trace = run.trace
+    count_bytes = run.count_bytes
+    contexts, programs = run.build_contexts()
+
+    running = bytearray(b"\x01") * S
+    running_count = S
+    messages = 0
+    message_bytes = 0
+    max_message_bytes = 0
+    # The batched per-round delivery buffer: pending[slot] is the inbox
+    # dict {sender_id: payload} being assembled for the next round.
+    pending: Dict[int, Dict[Vertex, Any]] = {}
+
+    current_round = 0
+    # Telemetry is hoisted out of the hot loop: one ``is not None`` check
+    # per round, nothing per message unless the sink asks for the message
+    # stream (wants_messages) or byte sizing (wants_bytes).
+    tel = run.telemetry
+    msg_hook = tel is not None and tel.wants_messages
+    # Byte counting and tracing are rare; keeping them in a slow-path
+    # helper keeps the per-message fast path branch-free.
+    slow_path = count_bytes or trace is not None or msg_hook
+
+    def dispatch_slow(sender: Vertex, outbox) -> None:
+        nonlocal messages, message_bytes, max_message_bytes
+        for dest, payload in outbox:
+            messages += 1
+            if count_bytes:
+                size = payload_size(payload)
+                message_bytes += size
+                if size > max_message_bytes:
+                    max_message_bytes = size
+            if trace is not None:
+                trace.record(current_round, sender, dest, payload)
+            if msg_hook:
+                tel.on_message(current_round, sender, dest, payload)
+            slot = dest if rank is None else rank[dest]
+            box = pending.get(slot)
+            if box is None:
+                box = pending[slot] = {}
+            box[sender] = payload
+
+    # Event-scheduler state.  ``awake`` holds the running slots that have
+    # NOT declared idleness (they are activated every round); ``wake_round``
+    # is the authoritative wakeup book, ``wake_heap`` its lazy min-heap
+    # (stale entries are skipped on pop).
+    awake = set(range(S))
+    wake_round: Dict[int, int] = {}
+    wake_heap: List[Tuple[int, int]] = []  # (round, slot)
+    heappush = heapq.heappush
+
+    if tel is not None:
+        tel.on_run_start(S, "event" if event else "dense")
+
+    # Round 0: on_start for everyone, no inbound messages yet.
+    for slot in range(S):
+        ctx = contexts[slot]
+        programs[slot].on_start(ctx)
+        outbox = ctx._outbox
+        if outbox:
+            ctx._outbox = []
+            if slow_path:
+                dispatch_slow(ctx.node, outbox)
+            else:
+                messages += len(outbox)
+                sender = ctx.node
+                for dest, payload in outbox:
+                    dslot = dest if rank is None else rank[dest]
+                    box = pending.get(dslot)
+                    if box is None:
+                        box = pending[dslot] = {}
+                    box[sender] = payload
+        if event:
+            idle = ctx._idle_requested
+            wake = ctx._wake_round
+            if idle:
+                ctx._idle_requested = False
+            if wake is not None:
+                ctx._wake_round = None
+            if not ctx.halted:
+                if idle:
+                    awake.discard(slot)
+                else:
+                    awake.add(slot)
+                if wake is not None:
+                    wake_round[slot] = wake
+                    heappush(wake_heap, (wake, slot))
+        else:
+            ctx._idle_requested = False
+            ctx._wake_round = None
+        if ctx.halted:
+            running[slot] = 0
+            running_count -= 1
+            awake.discard(slot)
+
+    if tel is not None:
+        # Round 0 activates every participant; nodes that parked in
+        # on_start count as idle transitions (event engine only — dense
+        # never parks a node).
+        idled0 = running_count - len(awake) if event else 0
+        tel.on_round(0, S, messages, message_bytes, 0, idled0)
+
+    rounds = 0
+    if not event:
+        while running_count:
+            if rounds >= round_limit:
+                raise RoundLimitExceeded(round_limit, running_count)
+            rounds += 1
+            current_round = rounds
+            if tel is not None:
+                tel_m0 = messages
+                tel_b0 = message_bytes
+                tel_active = running_count
+            delivery = pending
+            pending = {}
+            for slot in range(S):
+                if not running[slot]:
+                    continue
+                ctx = contexts[slot]
+                ctx.inbox = delivery.get(slot, {})
+                ctx.round_number = rounds
+                programs[slot].on_round(ctx)
+                outbox = ctx._outbox
+                if outbox:
+                    ctx._outbox = []
+                    if slow_path:
+                        dispatch_slow(ctx.node, outbox)
+                    else:
+                        messages += len(outbox)
+                        sender = ctx.node
+                        for dest, payload in outbox:
+                            dslot = dest if rank is None else rank[dest]
+                            box = pending.get(dslot)
+                            if box is None:
+                                box = pending[dslot] = {}
+                            box[sender] = payload
+                ctx._idle_requested = False
+                ctx._wake_round = None
+            for slot in range(S):
+                if running[slot] and contexts[slot].halted:
+                    running[slot] = 0
+                    running_count -= 1
+            if tel is not None:
+                tel.on_round(
+                    rounds,
+                    tel_active,
+                    messages - tel_m0,
+                    message_bytes - tel_b0,
+                    0,
+                    0,
+                )
+            # Messages addressed to halted nodes are dropped silently.
+    else:
+        while running_count:
+            # Pick the next round in which anything can happen.  With a
+            # non-idle node or a message in flight that is the very next
+            # round; otherwise fast-forward to the earliest wakeup.
+            if awake or pending:
+                next_round = rounds + 1
+            else:
+                next_round = None
+                while wake_heap:
+                    r, slot = wake_heap[0]
+                    if running[slot] and wake_round.get(slot) == r:
+                        next_round = max(r, rounds + 1)
+                        break
+                    heapq.heappop(wake_heap)  # stale entry
+                if next_round is None:
+                    # Every running node sleeps forever: the dense engine
+                    # could only exit this state at the round limit, so
+                    # fail the same way — just without the wait.
+                    raise RoundLimitExceeded(round_limit, running_count)
+            if next_round > round_limit:
+                raise RoundLimitExceeded(round_limit, running_count)
+            if tel is not None and next_round > rounds + 1:
+                tel.on_fast_forward(rounds, next_round)
+            rounds = next_round
+            current_round = rounds
+            delivery = pending
+            pending = {}
+            # Activatable this round: every awake node, every node with
+            # mail, and every node whose wakeup is due.
+            cand = set(awake)
+            for slot in delivery:
+                if running[slot]:
+                    cand.add(slot)
+            while wake_heap and wake_heap[0][0] <= rounds:
+                r, slot = heapq.heappop(wake_heap)
+                if running[slot] and wake_round.get(slot) == r:
+                    cand.add(slot)
+            if tel is not None:
+                tel_m0 = messages
+                tel_b0 = message_bytes
+                # Wake transitions: candidates activated from a parked
+                # state (must be counted before the schedule loop mutates
+                # ``awake``).
+                tel_woke = sum(1 for s in cand if s not in awake)
+            # Deterministic ascending-id activation (slot order is id
+            # order) without re-sorting the whole running set: sort the
+            # candidates when they are few, walk the slot range when most
+            # nodes are active.
+            if len(cand) * 4 < S:
+                schedule = sorted(cand)
+            else:
+                schedule = (s for s in range(S) if s in cand)
+            for slot in schedule:
+                ctx = contexts[slot]
+                wake_round.pop(slot, None)  # activation clears the wakeup
+                ctx.inbox = delivery.get(slot, {})
+                ctx.round_number = rounds
+                programs[slot].on_round(ctx)
+                outbox = ctx._outbox
+                if outbox:
+                    ctx._outbox = []
+                    if slow_path:
+                        dispatch_slow(ctx.node, outbox)
+                    else:
+                        messages += len(outbox)
+                        sender = ctx.node
+                        for dest, payload in outbox:
+                            dslot = dest if rank is None else rank[dest]
+                            box = pending.get(dslot)
+                            if box is None:
+                                box = pending[dslot] = {}
+                            box[sender] = payload
+                # inline note_schedule: this is the hottest line pair in
+                # the event engine
+                idle = ctx._idle_requested
+                wake = ctx._wake_round
+                if idle:
+                    ctx._idle_requested = False
+                if wake is not None:
+                    ctx._wake_round = None
+                if not ctx.halted:
+                    if idle:
+                        awake.discard(slot)
+                    else:
+                        awake.add(slot)
+                    if wake is not None:
+                        wake_round[slot] = wake
+                        heappush(wake_heap, (wake, slot))
+            for slot in cand:
+                if contexts[slot].halted:
+                    if running[slot]:
+                        running[slot] = 0
+                        running_count -= 1
+                    awake.discard(slot)
+                    wake_round.pop(slot, None)
+            if tel is not None:
+                # Idle transitions: activated nodes that are still running
+                # but parked themselves this round.
+                tel_idled = sum(
+                    1 for s in cand if running[s] and s not in awake
+                )
+                tel.on_round(
+                    rounds,
+                    len(cand),
+                    messages - tel_m0,
+                    message_bytes - tel_b0,
+                    tel_woke,
+                    tel_idled,
+                )
+            # Messages addressed to halted nodes are dropped silently.
+
+    run.outputs = {ctx.node: ctx.output for ctx in contexts}
+    run.rounds = rounds
+    run.messages = messages
+    run.message_bytes = message_bytes
+    run.max_message_bytes = max_message_bytes
+
+
+@register_engine("dense")
+class DenseEngine(Engine):
+    """The reference engine: every running node activated every round."""
+
+    def execute(self, run: EngineRun) -> None:
+        _execute_programs(run, event=False)
+
+
+@register_engine("event")
+class EventEngine(Engine):
+    """The active-set fast path driven by quiescence declarations."""
+
+    def execute(self, run: EngineRun) -> None:
+        _execute_programs(run, event=True)
+
+
+__all__ = [
+    "Engine",
+    "EngineRun",
+    "ENGINES",
+    "register_engine",
+    "engine_names",
+    "get_engine",
+    "DenseEngine",
+    "EventEngine",
+    "ProgramFactory",
+]

@@ -11,14 +11,20 @@ of communication rounds that elapse until every participating node halts.  A
 protocol in which every node decides locally and halts without communicating
 costs 0 rounds.
 
-Schedulers
-----------
+Engines
+-------
 
-Two execution engines produce byte-identical :class:`RunResult`\\ s:
+Execution engines live in a first-class registry
+(:mod:`repro.simulator.engines`): every engine is registered under a name
+via :func:`~repro.simulator.engines.register_engine` and selected with the
+``scheduler`` argument; unknown names raise
+:class:`~repro.errors.SimulationError` listing whatever is registered.
+Three engines ship built in, all producing byte-identical
+:class:`RunResult`\\ s:
 
 * ``"dense"`` — the reference implementation: every still-running node is
   activated in every round, in ascending vertex order.  This is the model
-  definition made literal, and it is what validates the fast path.
+  definition made literal, and it is what validates the fast paths.
 * ``"event"`` (default) — the active-set, event-driven fast path: the
   deterministic activation order is precomputed once, and a node that has
   declared quiescence (:meth:`~repro.simulator.context.NodeContext.
@@ -29,17 +35,23 @@ Two execution engines produce byte-identical :class:`RunResult`\\ s:
   so sparse-activity executions (ruling-set stalls, color-class sweeps,
   recursive decompositions waiting on a deep part) cost proportional to
   the activity, not to rounds × nodes.
+* ``"column"`` — the bulk-synchronous numpy engine
+  (:mod:`repro.simulator.column`): programs that provide a vectorized
+  kernel (:meth:`~repro.simulator.program.NodeProgram.column_kernel`)
+  execute whole rounds as array operations over the CSR core; every other
+  program transparently falls back to the event engine.
 
 The equivalence rests on the quiescence contract: an idle declaration
 promises that activating the node with an empty inbox would be a no-op.
 Programs that never declare idleness behave identically under both
-schedulers by construction (same activation sequence, same delivery).
+scalar engines by construction (same activation sequence, same delivery).
 Round, message, and byte accounting are shared, so the observable
 ``RunResult`` — outputs, rounds, messages, bytes — is identical; the
 parametrised equivalence suite (``tests/test_scheduler_equivalence.py``)
-enforces this across the whole algorithm library.
+enforces this across the whole algorithm library for every registered
+engine.
 
-Both engines also feed the same optional observation channel: a
+All engines also feed the same optional observation channel: a
 :class:`~repro.obs.telemetry.Telemetry` sink passed via ``telemetry=``
 receives per-round counters (active nodes, messages, bytes, wake/idle
 transitions) and fast-forward notifications.  The disabled path costs
@@ -60,26 +72,21 @@ count is the max over parts, exactly like real parallel execution.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
-from ..errors import RoundLimitExceeded, SimulationError
+from ..errors import SimulationError
 from ..graphs.graph import Graph
 from ..types import Vertex
-from .context import NodeContext
-from .message import payload_size
-from .program import NodeProgram
+from .engines import EngineRun, ProgramFactory, get_engine
 
-#: Factory producing one fresh program instance per node.
-ProgramFactory = Callable[[], NodeProgram]
+# Importing the column module registers the "column" engine; nothing in
+# this module calls into it directly.
+from . import column as _column  # noqa: F401
 
 #: Default cap on rounds; generous enough for every algorithm in the library
 #: on any reasonable input while still catching non-terminating programs.
 DEFAULT_ROUND_LIMIT_FACTOR = 50
-
-#: Valid values for the ``scheduler`` argument.
-SCHEDULERS = ("event", "dense")
 
 
 @dataclass
@@ -109,15 +116,14 @@ class SynchronousNetwork:
     """A network of processors, one per vertex of an undirected graph.
 
     ``scheduler`` selects the default execution engine for every
-    :meth:`run` on this network (overridable per run): ``"event"`` (the
-    fast path, default) or ``"dense"`` (the reference engine).
+    :meth:`run` on this network (overridable per run) by registry name:
+    ``"event"`` (the fast path, default), ``"dense"`` (the reference
+    engine), ``"column"`` (bulk-synchronous numpy kernels), or any engine
+    registered via :func:`~repro.simulator.engines.register_engine`.
     """
 
     def __init__(self, graph: Graph, scheduler: str = "event"):
-        if scheduler not in SCHEDULERS:
-            raise SimulationError(
-                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
-            )
+        get_engine(scheduler)  # unknown names raise, listing the registry
         self.graph = graph
         self.scheduler = scheduler
 
@@ -175,14 +181,12 @@ class SynchronousNetwork:
             sizing; one with ``wants_messages`` also receives every
             message via ``on_message``.
         scheduler:
-            ``"event"`` or ``"dense"``; defaults to the network's scheduler.
-            Both produce byte-identical results (see module docstring).
+            A registered engine name (``"event"``, ``"dense"``,
+            ``"column"``, ...); defaults to the network's scheduler.  All
+            engines produce byte-identical results (see module docstring).
         """
         mode = scheduler if scheduler is not None else self.scheduler
-        if mode not in SCHEDULERS:
-            raise SimulationError(
-                f"unknown scheduler {mode!r}; expected one of {SCHEDULERS}"
-            )
+        engine = get_engine(mode)
         graph = self.graph
         if participants is None:
             order: Tuple[Vertex, ...] = graph.vertices
@@ -200,314 +204,31 @@ class SynchronousNetwork:
         gp: Dict[str, Any] = dict(global_params or {})
         gp.setdefault("n", graph.n)
 
-        # Everything below runs in *slot* space: slot i is the i-th
-        # participant in ascending-id order, and all per-node state lives in
-        # flat lists indexed by slot — no id-keyed dict lookups in the inner
-        # loops.  When the graph has contiguous ids and everyone
-        # participates (the common case), slot == vertex id and the id→slot
-        # map is skipped entirely.
-        S = len(order)
-        full = active_set is None or len(active_set) == graph.n
-        identity = full and getattr(graph, "ids_contiguous", False)
-        rank: Optional[Dict[Vertex, int]] = (
-            None if identity else {v: i for i, v in enumerate(order)}
-        )
-
-        # Build contexts with visibility filtered to participants (and to
-        # the same part when a labeling is given).  Unrestricted runs reuse
-        # the graph's cached neighbour tuples — no per-run filtering pass.
-        contexts: List[NodeContext] = []
-        programs: List[NodeProgram] = []
-        for v in order:
-            if part_of is not None:
-                label = part_of.get(v)
-                visible = tuple(
-                    u
-                    for u in graph.neighbors(v)
-                    if (active_set is None or u in active_set)
-                    and part_of.get(u) == label
-                )
-                ctx = NodeContext(v, visible, gp)
-            elif not full:
-                visible = tuple(
-                    u for u in graph.neighbors(v) if u in active_set
-                )
-                ctx = NodeContext(v, visible, gp)
-            else:
-                ctx = NodeContext(v, graph.neighbors(v), gp)
-            contexts.append(ctx)
-            programs.append(program_factory())
-
-        running = bytearray(b"\x01") * S
-        running_count = S
-        messages = 0
-        message_bytes = 0
-        max_message_bytes = 0
-        # The batched per-round delivery buffer: pending[slot] is the inbox
-        # dict {sender_id: payload} being assembled for the next round.
-        pending: Dict[int, Dict[Vertex, Any]] = {}
-
-        current_round = 0
-        # Telemetry is hoisted out of the hot loop: one ``is not None``
-        # check per round, nothing per message unless the sink asks for
-        # the message stream (wants_messages) or byte sizing (wants_bytes).
-        tel = telemetry
-        if tel is not None and tel.wants_bytes:
+        # Telemetry byte sizing is decided once, engine-independently.
+        if telemetry is not None and telemetry.wants_bytes:
             count_bytes = True
-        msg_hook = tel is not None and tel.wants_messages
-        # Byte counting and tracing are rare; keeping them in a slow-path
-        # helper keeps the per-message fast path branch-free.
-        slow_path = count_bytes or trace is not None or msg_hook
 
-        def dispatch_slow(sender: Vertex, outbox) -> None:
-            nonlocal messages, message_bytes, max_message_bytes
-            for dest, payload in outbox:
-                messages += 1
-                if count_bytes:
-                    size = payload_size(payload)
-                    message_bytes += size
-                    if size > max_message_bytes:
-                        max_message_bytes = size
-                if trace is not None:
-                    trace.record(current_round, sender, dest, payload)
-                if msg_hook:
-                    tel.on_message(current_round, sender, dest, payload)
-                slot = dest if rank is None else rank[dest]
-                box = pending.get(slot)
-                if box is None:
-                    box = pending[slot] = {}
-                box[sender] = payload
-
-        # Event-scheduler state.  ``awake`` holds the running slots that have
-        # NOT declared idleness (they are activated every round); ``wake_round``
-        # is the authoritative wakeup book, ``wake_heap`` its lazy min-heap
-        # (stale entries are skipped on pop).
-        awake = set(range(S))
-        wake_round: Dict[int, int] = {}
-        wake_heap: List[Tuple[int, int]] = []  # (round, slot)
-        heappush = heapq.heappush
-
-        if tel is not None:
-            tel.on_run_start(S, mode)
-
-        # Round 0: on_start for everyone, no inbound messages yet.
-        for slot in range(S):
-            ctx = contexts[slot]
-            programs[slot].on_start(ctx)
-            outbox = ctx._outbox
-            if outbox:
-                ctx._outbox = []
-                if slow_path:
-                    dispatch_slow(ctx.node, outbox)
-                else:
-                    messages += len(outbox)
-                    sender = ctx.node
-                    for dest, payload in outbox:
-                        dslot = dest if rank is None else rank[dest]
-                        box = pending.get(dslot)
-                        if box is None:
-                            box = pending[dslot] = {}
-                        box[sender] = payload
-            if mode == "event":
-                idle = ctx._idle_requested
-                wake = ctx._wake_round
-                if idle:
-                    ctx._idle_requested = False
-                if wake is not None:
-                    ctx._wake_round = None
-                if not ctx.halted:
-                    if idle:
-                        awake.discard(slot)
-                    else:
-                        awake.add(slot)
-                    if wake is not None:
-                        wake_round[slot] = wake
-                        heappush(wake_heap, (wake, slot))
-            else:
-                ctx._idle_requested = False
-                ctx._wake_round = None
-            if ctx.halted:
-                running[slot] = 0
-                running_count -= 1
-                awake.discard(slot)
-
-        if tel is not None:
-            # Round 0 activates every participant; nodes that parked in
-            # on_start count as idle transitions (event engine only —
-            # dense never parks a node).
-            idled0 = running_count - len(awake) if mode == "event" else 0
-            tel.on_round(0, S, messages, message_bytes, 0, idled0)
-
-        rounds = 0
-        if mode == "dense":
-            while running_count:
-                if rounds >= round_limit:
-                    raise RoundLimitExceeded(round_limit, running_count)
-                rounds += 1
-                current_round = rounds
-                if tel is not None:
-                    tel_m0 = messages
-                    tel_b0 = message_bytes
-                    tel_active = running_count
-                delivery = pending
-                pending = {}
-                for slot in range(S):
-                    if not running[slot]:
-                        continue
-                    ctx = contexts[slot]
-                    ctx.inbox = delivery.get(slot, {})
-                    ctx.round_number = rounds
-                    programs[slot].on_round(ctx)
-                    outbox = ctx._outbox
-                    if outbox:
-                        ctx._outbox = []
-                        if slow_path:
-                            dispatch_slow(ctx.node, outbox)
-                        else:
-                            messages += len(outbox)
-                            sender = ctx.node
-                            for dest, payload in outbox:
-                                dslot = dest if rank is None else rank[dest]
-                                box = pending.get(dslot)
-                                if box is None:
-                                    box = pending[dslot] = {}
-                                box[sender] = payload
-                    ctx._idle_requested = False
-                    ctx._wake_round = None
-                for slot in range(S):
-                    if running[slot] and contexts[slot].halted:
-                        running[slot] = 0
-                        running_count -= 1
-                if tel is not None:
-                    tel.on_round(
-                        rounds,
-                        tel_active,
-                        messages - tel_m0,
-                        message_bytes - tel_b0,
-                        0,
-                        0,
-                    )
-                # Messages addressed to halted nodes are dropped silently.
-        else:
-            while running_count:
-                # Pick the next round in which anything can happen.  With a
-                # non-idle node or a message in flight that is the very next
-                # round; otherwise fast-forward to the earliest wakeup.
-                if awake or pending:
-                    next_round = rounds + 1
-                else:
-                    next_round = None
-                    while wake_heap:
-                        r, slot = wake_heap[0]
-                        if running[slot] and wake_round.get(slot) == r:
-                            next_round = max(r, rounds + 1)
-                            break
-                        heapq.heappop(wake_heap)  # stale entry
-                    if next_round is None:
-                        # Every running node sleeps forever: the dense engine
-                        # could only exit this state at the round limit, so
-                        # fail the same way — just without the wait.
-                        raise RoundLimitExceeded(round_limit, running_count)
-                if next_round > round_limit:
-                    raise RoundLimitExceeded(round_limit, running_count)
-                if tel is not None and next_round > rounds + 1:
-                    tel.on_fast_forward(rounds, next_round)
-                rounds = next_round
-                current_round = rounds
-                delivery = pending
-                pending = {}
-                # Activatable this round: every awake node, every node with
-                # mail, and every node whose wakeup is due.
-                cand = set(awake)
-                for slot in delivery:
-                    if running[slot]:
-                        cand.add(slot)
-                while wake_heap and wake_heap[0][0] <= rounds:
-                    r, slot = heapq.heappop(wake_heap)
-                    if running[slot] and wake_round.get(slot) == r:
-                        cand.add(slot)
-                if tel is not None:
-                    tel_m0 = messages
-                    tel_b0 = message_bytes
-                    # Wake transitions: candidates activated from a parked
-                    # state (must be counted before the schedule loop
-                    # mutates ``awake``).
-                    tel_woke = sum(1 for s in cand if s not in awake)
-                # Deterministic ascending-id activation (slot order is id
-                # order) without re-sorting the whole running set: sort the
-                # candidates when they are few, walk the slot range when
-                # most nodes are active.
-                if len(cand) * 4 < S:
-                    schedule = sorted(cand)
-                else:
-                    schedule = (s for s in range(S) if s in cand)
-                for slot in schedule:
-                    ctx = contexts[slot]
-                    wake_round.pop(slot, None)  # activation clears the wakeup
-                    ctx.inbox = delivery.get(slot, {})
-                    ctx.round_number = rounds
-                    programs[slot].on_round(ctx)
-                    outbox = ctx._outbox
-                    if outbox:
-                        ctx._outbox = []
-                        if slow_path:
-                            dispatch_slow(ctx.node, outbox)
-                        else:
-                            messages += len(outbox)
-                            sender = ctx.node
-                            for dest, payload in outbox:
-                                dslot = dest if rank is None else rank[dest]
-                                box = pending.get(dslot)
-                                if box is None:
-                                    box = pending[dslot] = {}
-                                box[sender] = payload
-                    # inline note_schedule: this is the hottest line pair in
-                    # the event engine
-                    idle = ctx._idle_requested
-                    wake = ctx._wake_round
-                    if idle:
-                        ctx._idle_requested = False
-                    if wake is not None:
-                        ctx._wake_round = None
-                    if not ctx.halted:
-                        if idle:
-                            awake.discard(slot)
-                        else:
-                            awake.add(slot)
-                        if wake is not None:
-                            wake_round[slot] = wake
-                            heappush(wake_heap, (wake, slot))
-                for slot in cand:
-                    if contexts[slot].halted:
-                        if running[slot]:
-                            running[slot] = 0
-                            running_count -= 1
-                        awake.discard(slot)
-                        wake_round.pop(slot, None)
-                if tel is not None:
-                    # Idle transitions: activated nodes that are still
-                    # running but parked themselves this round.
-                    tel_idled = sum(
-                        1 for s in cand if running[s] and s not in awake
-                    )
-                    tel.on_round(
-                        rounds,
-                        len(cand),
-                        messages - tel_m0,
-                        message_bytes - tel_b0,
-                        tel_woke,
-                        tel_idled,
-                    )
-                # Messages addressed to halted nodes are dropped silently.
-
-        outputs = {ctx.node: ctx.output for ctx in contexts}
-        result = RunResult(
-            outputs=outputs,
-            rounds=rounds,
-            messages=messages,
-            message_bytes=message_bytes,
-            max_message_bytes=max_message_bytes,
+        state = EngineRun(
+            graph,
+            program_factory,
+            order=order,
+            active_set=active_set,
+            part_of=part_of,
+            gp=gp,
+            round_limit=round_limit,
+            count_bytes=count_bytes,
+            trace=trace,
+            telemetry=telemetry,
         )
-        if tel is not None:
-            tel.on_run_end(result)
+        engine.execute(state)
+
+        result = RunResult(
+            outputs=state.outputs,
+            rounds=state.rounds,
+            messages=state.messages,
+            message_bytes=state.message_bytes,
+            max_message_bytes=state.max_message_bytes,
+        )
+        if telemetry is not None:
+            telemetry.on_run_end(result)
         return result

@@ -56,6 +56,21 @@ class NodeProgram:
     def on_round(self, ctx: NodeContext) -> None:
         """Per-round activation; ``ctx.inbox`` holds this round's messages."""
 
+    def column_kernel(self, col):
+        """Optional vectorized whole-run kernel for the column engine.
+
+        Called once on a *prototype* instance (never on per-node copies)
+        with a :class:`~repro.simulator.column.ColumnRun`.  Return a
+        zero-argument callable that executes the entire run in column form
+        — filling ``col.outputs``/``col.rounds`` and accounting every round
+        through ``col.note_round`` with results byte-identical to the
+        scalar engines — or ``None`` (the default) to fall back to the
+        event engine.  A program may also return ``None`` conditionally
+        when only some configurations vectorize (e.g. a restricted
+        conflict set).
+        """
+        return None
+
 
 class FunctionProgram(NodeProgram):
     """Adapter turning a pair of callables into a :class:`NodeProgram`.

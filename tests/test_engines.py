@@ -1,0 +1,190 @@
+"""The engine registry and the column engine's dispatch semantics."""
+
+import pytest
+
+import repro
+from repro import SynchronousNetwork
+from repro.core.hpartition import HPartitionProgram, degree_threshold
+from repro.errors import SimulationError
+from repro.graphs import forest_union
+from repro.obs import RoundTelemetry
+from repro.simulator import (
+    Engine,
+    MessageTrace,
+    engine_names,
+    get_engine,
+    register_engine,
+)
+from repro.simulator.engines import ENGINES
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert {"dense", "event", "column"} <= set(engine_names())
+
+    def test_engine_names_sorted(self):
+        assert list(engine_names()) == sorted(engine_names())
+
+    def test_unknown_engine_error_lists_registered(self):
+        with pytest.raises(SimulationError) as exc:
+            get_engine("bogus")
+        msg = str(exc.value)
+        assert "bogus" in msg
+        for name in engine_names():
+            assert name in msg
+
+    def test_get_engine_returns_registered_instance(self):
+        eng = get_engine("event")
+        assert isinstance(eng, Engine)
+        assert eng.name == "event"
+
+    def test_register_engine_is_visible_to_networks(self):
+        event = get_engine("event")
+
+        @register_engine("test-proxy")
+        class ProxyEngine(Engine):
+            def execute(self, run):
+                event.execute(run)
+
+        try:
+            assert "test-proxy" in engine_names()
+            gen = forest_union(40, 2, seed=3)
+            net = SynchronousNetwork(gen.graph, scheduler="test-proxy")
+            threshold = degree_threshold(2, 0.5)
+            got = net.run(lambda: HPartitionProgram(threshold))
+            want = SynchronousNetwork(gen.graph).run(
+                lambda: HPartitionProgram(threshold)
+            )
+            assert got == want
+        finally:
+            del ENGINES["test-proxy"]
+        with pytest.raises(SimulationError):
+            get_engine("test-proxy")
+
+    def test_top_level_api_exports(self):
+        for name in (
+            "Graph",
+            "SynchronousNetwork",
+            "run_sweep",
+            "ScenarioSpec",
+            "SweepSpec",
+            "Engine",
+            "register_engine",
+            "engine_names",
+            "get_engine",
+            "forest_union_bulk",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+
+def _hp_run(net, gen, **kwargs):
+    threshold = degree_threshold(gen.arboricity_bound, 0.5)
+    return net.run(lambda: HPartitionProgram(threshold), **kwargs)
+
+
+class TestColumnDispatch:
+    """Which engine actually executes is observable via telemetry: the
+    ``scheduler`` reported to ``on_run_start`` is the *executing* engine."""
+
+    def test_kernel_program_runs_on_column(self):
+        gen = forest_union(80, 2, seed=5)
+        net = SynchronousNetwork(gen.graph, scheduler="column")
+        tel = RoundTelemetry()
+        _hp_run(net, gen, telemetry=tel)
+        assert tel.scheduler == "column"
+
+    def test_program_without_kernel_falls_back_to_event(self):
+        from repro.core.mis import _LubyProgram
+
+        gen = forest_union(80, 2, seed=5)
+        net = SynchronousNetwork(gen.graph, scheduler="column")
+        tel = RoundTelemetry()
+        net.run(lambda: _LubyProgram(3), telemetry=tel)
+        assert tel.scheduler == "event"
+
+    def test_trace_request_falls_back_to_event(self):
+        gen = forest_union(80, 2, seed=5)
+        net = SynchronousNetwork(gen.graph, scheduler="column")
+        tel = RoundTelemetry()
+        trace = MessageTrace()
+        _hp_run(net, gen, telemetry=tel, trace=trace)
+        assert tel.scheduler == "event"
+        assert len(trace) > 0
+
+    def test_subgraph_run_falls_back_to_event(self):
+        gen = forest_union(80, 2, seed=5)
+        net = SynchronousNetwork(gen.graph, scheduler="column")
+        tel = RoundTelemetry()
+        participants = list(range(0, 80, 2))
+        _hp_run(net, gen, telemetry=tel, participants=participants)
+        assert tel.scheduler == "event"
+
+    def test_telemetry_round_stream_matches_event(self):
+        """The engine-independent telemetry view — per-round message and
+        byte counts — is identical between column and event."""
+        gen = forest_union(120, 3, seed=9)
+        tels = {}
+        for engine in ("event", "column"):
+            net = SynchronousNetwork(gen.graph, scheduler=engine)
+            tel = tels[engine] = RoundTelemetry(count_bytes=True)
+            _hp_run(net, gen, telemetry=tel)
+        assert tels["column"].scheduler == "column"  # kernel actually ran
+        assert (
+            tels["column"].message_rounds() == tels["event"].message_rounds()
+        )
+        assert tels["column"].total_messages == tels["event"].total_messages
+        assert tels["column"].total_bytes == tels["event"].total_bytes
+        assert len(tels["column"].samples) == len(tels["event"].samples)
+
+
+class TestSchedulerKnob:
+    """The sweep layer's engine selection: spec -> trial -> provenance."""
+
+    def test_trial_key_stable_when_scheduler_unset(self):
+        from repro.experiments.spec import TrialSpec
+
+        t = TrialSpec(family="forest_union", algorithm="linial", seed=3)
+        assert "scheduler" not in t.to_dict()  # legacy cache keys unchanged
+
+    def test_scheduler_flows_into_key_and_round_trips(self):
+        from repro.experiments.spec import ScenarioSpec, TrialSpec
+
+        base = TrialSpec(family="forest_union", algorithm="linial", seed=3)
+        col = TrialSpec(
+            family="forest_union", algorithm="linial", seed=3,
+            scheduler="column",
+        )
+        assert col.key() != base.key()
+        assert TrialSpec.from_dict(col.to_dict()) == col
+        sc = ScenarioSpec(
+            family="forest_union", algorithm="linial",
+            scheduler="column", num_seeds=2,
+        )
+        assert all(t.scheduler == "column" for t in sc.trials())
+        assert ScenarioSpec.from_dict(sc.to_dict()).scheduler == "column"
+
+    def test_scheduler_does_not_shift_derived_seeds(self):
+        """Engine A/B cells must run on the *same* graphs."""
+        from repro.experiments.spec import ScenarioSpec
+
+        mk = lambda sched: ScenarioSpec(
+            family="forest_union", algorithm="linial",
+            scheduler=sched, num_seeds=3,
+        )
+        assert mk("column").resolved_seeds() == mk("").resolved_seeds()
+
+    def test_execute_trial_records_and_uses_engine(self):
+        from repro.experiments.registry import execute_trial
+        from repro.experiments.spec import TrialSpec
+
+        mk = lambda sched: TrialSpec(
+            family="forest_union", algorithm="mis_arboricity", seed=1,
+            family_params={"n": 60, "a": 2}, scheduler=sched,
+        ).to_dict()
+        rec_col = execute_trial(mk("column"))
+        rec_def = execute_trial(mk(""))
+        assert rec_col["provenance"]["scheduler"] == "column"
+        assert rec_def["provenance"]["scheduler"] == "event"
+        # engine choice never leaks into metrics
+        assert rec_col["metrics"] == rec_def["metrics"]

@@ -298,10 +298,14 @@ class TestSweepTracing:
 class TestTopology:
     def test_block_shape(self):
         topo = topology()
-        assert set(topo) == {"cpu_count", "effective_workers", "shm_available"}
+        required = {"cpu_count", "effective_workers", "shm_available"}
+        # mem_gb appears when the host exposes physical-memory sysconf
+        assert required <= set(topo) <= required | {"mem_gb"}
         assert isinstance(topo["cpu_count"], int) and topo["cpu_count"] >= 1
         assert 1 <= topo["effective_workers"] <= max(topo["cpu_count"], 8)
         assert isinstance(topo["shm_available"], bool)
+        if "mem_gb" in topo:
+            assert isinstance(topo["mem_gb"], float) and topo["mem_gb"] > 0
         json.dumps(topo)
 
 

@@ -1,16 +1,19 @@
-"""Dense vs. event scheduler equivalence across the algorithm library.
+"""Engine equivalence across the algorithm library.
 
-The event-driven fast path must be an *observationally invisible*
-optimisation: for every algorithm on every instance, the ``dense``
-reference scheduler and the ``event`` scheduler must produce byte-identical
-results — the same outputs, the same round count (the paper's complexity
-measure!), the same message and byte accounting.  All result types are
-dataclasses, so ``==`` compares every field including nested params.
+Every engine in the registry must be an *observationally invisible*
+optimisation over the ``dense`` reference: for every algorithm on every
+instance, it must produce byte-identical results — the same outputs, the
+same round count (the paper's complexity measure!), the same message and
+byte accounting.  All result types are dataclasses, so ``==`` compares
+every field including nested params.
 
-The suite runs every ``core/`` algorithm under both modes on a
-forest-union, a planar-triangulation, and a preferential-attachment
-instance; a separate test checks raw :class:`RunResult` equality (all five
-fields, with byte counting on) for programs that declare quiescence.
+The suite is parametrized over :func:`repro.simulator.engine_names`, so a
+newly registered engine is pinned against the reference automatically.  It
+runs every ``core/`` algorithm under every engine on a forest-union, a
+planar-triangulation, and a preferential-attachment instance — including
+programs with no column kernel, which exercises the column engine's
+fallback path; a separate test checks raw :class:`RunResult` equality (all
+five fields, with byte counting on) for programs that declare quiescence.
 """
 
 import pytest
@@ -49,7 +52,10 @@ from repro.graphs import (
     preferential_attachment,
     random_tree,
 )
-from repro.simulator import MessageTrace
+from repro.simulator import MessageTrace, engine_names
+
+#: every registered engine that must match the dense reference
+CANDIDATE_ENGINES = [e for e in engine_names() if e != "dense"]
 
 INSTANCES = [
     ("forest_union", lambda: forest_union(150, 3, seed=21)),
@@ -86,63 +92,68 @@ ALGORITHMS = [
 @pytest.fixture(scope="module", params=INSTANCES, ids=lambda p: p[0])
 def instance(request):
     gen = request.param[1]()
-    return (
-        gen,
-        SynchronousNetwork(gen.graph, scheduler="dense"),
-        SynchronousNetwork(gen.graph, scheduler="event"),
-    )
+    nets = {
+        engine: SynchronousNetwork(gen.graph, scheduler=engine)
+        for engine in engine_names()
+    }
+    return gen, nets
 
 
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
 @pytest.mark.parametrize("name,algo", ALGORITHMS, ids=[a[0] for a in ALGORITHMS])
-def test_dense_and_event_agree(instance, name, algo):
-    gen, dense_net, event_net = instance
+def test_engines_agree_with_dense(instance, engine, name, algo):
+    gen, nets = instance
     a = gen.arboricity_bound
-    dense = algo(dense_net, a)
-    event = algo(event_net, a)
+    dense = algo(nets["dense"], a)
+    candidate = algo(nets[engine], a)
     # dataclass equality: every field, including rounds and nested params
-    assert dense == event
+    assert dense == candidate
 
 
-def test_forest_programs_agree():
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
+def test_forest_programs_agree(engine):
     gen = random_tree(90, seed=31)
     parent_of = root_forest_by_bfs(gen.graph)
     dense_net = SynchronousNetwork(gen.graph, scheduler="dense")
-    event_net = SynchronousNetwork(gen.graph, scheduler="event")
+    other_net = SynchronousNetwork(gen.graph, scheduler=engine)
     assert cole_vishkin_forest(dense_net, parent_of) == cole_vishkin_forest(
-        event_net, parent_of
+        other_net, parent_of
     )
-    assert forest_mis(dense_net, parent_of) == forest_mis(event_net, parent_of)
+    assert forest_mis(dense_net, parent_of) == forest_mis(other_net, parent_of)
 
 
+@pytest.mark.parametrize("engine", CANDIDATE_ENGINES)
 @pytest.mark.parametrize("inst_name,make", INSTANCES, ids=[i[0] for i in INSTANCES])
-def test_run_results_byte_identical(inst_name, make):
+def test_run_results_byte_identical(inst_name, make, engine):
     """Raw RunResult equality — all five fields, byte accounting on — for a
     pipeline whose programs all declare quiescence (H-partition feeding the
-    color-class MIS sweep via the full Theorem 4.3 stack)."""
+    color-class MIS sweep via the full Theorem 4.3 stack).  Both programs
+    have column kernels, so for ``engine="column"`` this pins the kernels'
+    message/byte accounting against the reference, not just the outputs."""
     from repro.core.hpartition import HPartitionProgram, degree_threshold
     from repro.core.mis import _ColorClassMISProgram
     from repro.core.legal import legal_coloring_theorem43
 
     gen = make()
     net_dense = SynchronousNetwork(gen.graph, scheduler="dense")
-    net_event = SynchronousNetwork(gen.graph, scheduler="event")
+    net_other = SynchronousNetwork(gen.graph, scheduler=engine)
     threshold = degree_threshold(gen.arboricity_bound, 0.5)
 
     r_dense = net_dense.run(
         lambda: HPartitionProgram(threshold), count_bytes=True
     )
-    r_event = net_event.run(
+    r_other = net_other.run(
         lambda: HPartitionProgram(threshold), count_bytes=True
     )
-    assert r_dense == r_event  # outputs, rounds, messages, bytes, max bytes
+    assert r_dense == r_other  # outputs, rounds, messages, bytes, max bytes
 
-    coloring = legal_coloring_theorem43(net_event, gen.arboricity_bound, 0.5)
+    coloring = legal_coloring_theorem43(net_other, gen.arboricity_bound, 0.5)
     normalized = coloring.normalized()
     sweep = lambda net: net.run(
         lambda: _ColorClassMISProgram(lambda v: normalized.colors[v]),
         count_bytes=True,
     )
-    assert sweep(net_dense) == sweep(net_event)
+    assert sweep(net_dense) == sweep(net_other)
 
 
 class TestMessageTraceEquivalence:

@@ -127,8 +127,8 @@ def test_graph_core_construction_and_sweep(benchmark):
     Graph.from_edge_count(2000, warm)
     for n in (50_000, 80_000):
         edges = _forest_edges(n, A, seed=5000 + n)
-        legacy, t_leg = _best_of(lambda: LegacyGraph(range(n), edges))
-        csr, t_csr = _best_of(lambda: Graph.from_edge_count(n, edges))
+        legacy, t_leg = _best_of(lambda n=n, edges=edges: LegacyGraph(range(n), edges))
+        csr, t_csr = _best_of(lambda n=n, edges=edges: Graph.from_edge_count(n, edges))
         t_csr *= 1.0 + _HANDICAP
         # byte-compatibility of the public id-based API
         assert csr.vertices == legacy.vertices
@@ -155,8 +155,12 @@ def test_graph_core_construction_and_sweep(benchmark):
     sweep_tput = 0.0
     for n in (40_000,):
         edges = _forest_edges(n, A, seed=7000 + n)
-        out_leg, t_leg = _best_of(lambda: _sweep_trial(n, edges, legacy=True))
-        out_csr, t_csr = _best_of(lambda: _sweep_trial(n, edges, legacy=False))
+        out_leg, t_leg = _best_of(
+            lambda n=n, edges=edges: _sweep_trial(n, edges, legacy=True)
+        )
+        out_csr, t_csr = _best_of(
+            lambda n=n, edges=edges: _sweep_trial(n, edges, legacy=False)
+        )
         t_csr *= 1.0 + _HANDICAP
         assert out_leg == out_csr, "sweep trial diverged between builds"
         rounds = out_csr[3]

@@ -46,7 +46,7 @@ def test_colors_linear_in_a(benchmark):
     # iteration count, so the slope alone can dip below 1 at small scale)
     slope = fit_loglog_slope([float(a) for a in sweep_a], [float(c) for c in colors])
     assert slope <= 1.5
-    assert all(c <= 20 * a for c, a in zip(colors, sweep_a))
+    assert all(c <= 20 * a for c, a in zip(colors, sweep_a, strict=True))
     run_once(benchmark, lambda: _measure(384, 16, seed=516))
 
 
@@ -70,6 +70,6 @@ def test_rounds_polylog_in_n(benchmark):
         "e07_legal_coloring.txt",
     )
     # rounds/log n bounded: the ratio across an 8x sweep stays within 3x
-    ratios = [r / l for r, l in zip(rounds, logs)]
+    ratios = [r / l for r, l in zip(rounds, logs, strict=True)]
     assert max(ratios) / min(ratios) <= 3.0
     run_once(benchmark, lambda: _measure(512, 16, seed=1112))

@@ -51,7 +51,7 @@ def test_mis_deterministic_vs_luby(benchmark, sweep_trials, sweep_base_seed):
     for n in SWEEP_N:
         dets = by_cell[(n, "mis_arboricity")]
         rnds = by_cell[(n, "luby_mis")]
-        for det, rnd in zip(dets, rnds):
+        for det, rnd in zip(dets, rnds, strict=True):
             assert det.metrics["verified"] and rnd.metrics["verified"]
             bound = mis_rounds_bound(A, MU, n)
             rows.append(
@@ -74,7 +74,7 @@ def test_mis_deterministic_vs_luby(benchmark, sweep_trials, sweep_base_seed):
         "e11_mis.txt",
     )
     # determinstic rounds scale ~log n at fixed a: ratio bounded across 8x n
-    ratios = [r / math.log2(n) for r, n in zip(det_rounds, SWEEP_N)]
+    ratios = [r / math.log2(n) for r, n in zip(det_rounds, SWEEP_N, strict=True)]
     assert max(ratios) / min(ratios) <= 3.0
     # timed region = the algorithm alone on a prebuilt network, as before
     # the sweep-engine port (keeps benchmark history comparable)

@@ -44,5 +44,5 @@ def test_lemma41_sweep_a(benchmark):
     slope = fit_loglog_slope([float(a) for a in SWEEP_A], [float(c) for c in colors])
     assert 0.5 <= slope <= 1.5
     # colors/a bounded
-    assert all(c <= 25 * a for c, a in zip(colors, SWEEP_A))
+    assert all(c <= 25 * a for c, a in zip(colors, SWEEP_A, strict=True))
     run_once(benchmark, lambda: _measure(27))

@@ -85,10 +85,10 @@ def test_figure1_path_structure(benchmark):
     po = partial_orientation(net, A, t=2, hpartition=hp)
     path = longest_directed_path(gen.graph, po)
     levels = [hp.index[v] for v in path]
-    cross = sum(1 for x, y in zip(levels, levels[1:]) if x != y)
+    cross = sum(1 for x, y in zip(levels, levels[1:], strict=False) if x != y)
     # longest same-level run of edges
     best_run = run = 0
-    for x, y in zip(levels, levels[1:]):
+    for x, y in zip(levels, levels[1:], strict=False):
         run = run + 1 if x == y else 0
         best_run = max(best_run, run)
     emit(

@@ -247,14 +247,20 @@ def test_telemetry_overhead(benchmark):
     legacy_total = disabled_total = enabled_total = 0.0
     for name, workload in workloads:
         legacy_out, legacy_s = _best_of(
-            5, lambda: workload(LegacySynchronousNetwork(graph, scheduler="event"))
+            5,
+            lambda workload=workload: workload(
+                LegacySynchronousNetwork(graph, scheduler="event")
+            ),
         )
         disabled_out, disabled_s = _best_of(
-            5, lambda: workload(SynchronousNetwork(graph, scheduler="event"))
+            5,
+            lambda workload=workload: workload(
+                SynchronousNetwork(graph, scheduler="event")
+            ),
         )
         enabled_out, enabled_s = _best_of(
             5,
-            lambda: workload(
+            lambda workload=workload: workload(
                 _with_telemetry(
                     SynchronousNetwork(graph, scheduler="event"), RoundTelemetry()
                 )

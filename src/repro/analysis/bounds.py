@@ -100,7 +100,7 @@ def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     sxx = sum((x - mean_x) ** 2 for x in lx)
     if sxx == 0:
         raise ValueError("fit_loglog_slope: x values are all equal")
-    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly, strict=True))
     return sxy / sxx
 
 
@@ -113,7 +113,7 @@ def fit_linear_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     sxx = sum((x - mean_x) ** 2 for x in xs)
     if sxx == 0:
         raise ValueError("fit_linear_slope: x values are all equal")
-    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys, strict=True))
     return sxy / sxx
 
 

@@ -1,0 +1,256 @@
+"""Core datatypes of the static analyzer: findings, rules, module context.
+
+``repro check`` is an AST-level contract checker: every documented
+simulator contract that used to live in prose (the CONGEST rules on
+:class:`~repro.simulator.program.NodeProgram` bodies, the column-kernel
+purity guarantee, the event-engine quiescence protocol, the executors'
+fork discipline, the sweep cache-key stability rules) is encoded as a
+named :class:`Rule` that walks a parsed module and yields
+:class:`Finding`\\ s.  Rules are registered exactly like simulator
+engines — a decorator populating a module-level registry — so external
+rule packs can extend the checker the same way third-party engines
+extend the simulator.
+
+The analyzer never imports the code it checks: everything is derived
+from the source text and its AST, so ``repro check`` is safe to run on
+broken or dependency-missing files (a syntax error becomes a finding,
+not a crash).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .suppress import Suppression, parse_suppressions
+
+#: Finding severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: set by suppression matching, never by rules
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed:
+            d["suppressed"] = True
+            d["suppression_reason"] = self.suppression_reason
+        return d
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+class Rule:
+    """Base class for checker rules.
+
+    Subclasses set ``id`` (the kebab-case name used in suppressions and
+    ``--rule`` filters), ``severity``, ``summary`` (one line, shown by
+    ``--list-rules``) and ``doc`` (the contract being enforced, shown in
+    the rule catalog), and implement :meth:`check`.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    summary: str = ""
+    doc: str = ""
+
+    def check(self, mod: "ModuleInfo") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, mod: "ModuleInfo", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: The rule registry: rule id -> rule instance.
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator registering a :class:`Rule` under its ``id``."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    RULES[rule.id] = rule
+    return cls
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """The registered rule ids, sorted."""
+    return tuple(sorted(RULES))
+
+
+def get_rules(ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Resolve a rule-id selection (``None`` = every registered rule)."""
+    if ids is None:
+        return [RULES[i] for i in rule_ids()]
+    out = []
+    for i in ids:
+        if i not in RULES:
+            raise KeyError(
+                f"unknown rule {i!r}; registered rules: {', '.join(rule_ids())}"
+            )
+        out.append(RULES[i])
+    return out
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by the rules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a call target (``c`` for ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_ctx_call(node: ast.AST, ctx_names: frozenset, methods: Tuple[str, ...]):
+    """True for ``<ctx>.<method>(...)`` calls on a known context name."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in methods
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in ctx_names
+    )
+
+
+SEND_METHODS = ("send", "broadcast")
+
+
+def contains_send(node: ast.AST, ctx_names: frozenset) -> Optional[ast.Call]:
+    """The first ``ctx.send``/``ctx.broadcast`` call in ``node``'s subtree."""
+    for sub in ast.walk(node):
+        if is_ctx_call(sub, ctx_names, SEND_METHODS):
+            return sub
+    return None
+
+
+def iter_blocks(node: ast.AST) -> Iterator[List[ast.stmt]]:
+    """Every statement list (straight-line block) under ``node``."""
+    for sub in ast.walk(node):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(sub, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+        for handler in getattr(sub, "handlers", []) or []:
+            yield handler.body
+
+
+@dataclass
+class ProgramClass:
+    """A class statically identified as a node program."""
+
+    node: ast.ClassDef
+    #: methods by name (FunctionDefs directly in the class body)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def ctx_names(self, fn: ast.FunctionDef) -> frozenset:
+        """Parameter names that (statically) carry the NodeContext.
+
+        By convention and annotation: any parameter named ``ctx`` or
+        annotated ``NodeContext``.
+        """
+        names = set()
+        for arg in fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs:
+            if arg.arg == "ctx":
+                names.add(arg.arg)
+            elif arg.annotation is not None:
+                ann = terminal_name(arg.annotation)
+                if ann == "NodeContext":
+                    names.add(arg.arg)
+        return frozenset(names)
+
+
+PROGRAM_BASE_SUFFIX = "Program"
+
+
+class ModuleInfo:
+    """One parsed source file plus the derived views the rules share."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions: Dict[int, List[Suppression]] = parse_suppressions(source)
+        self._programs: Optional[List[ProgramClass]] = None
+
+    def program_classes(self) -> List[ProgramClass]:
+        """Classes whose bases mark them as node programs.
+
+        Statically a node program is any class with a base whose name
+        ends in ``Program`` (``NodeProgram``, ``FunctionProgram``, or a
+        subclass following the library's naming convention).
+        """
+        if self._programs is not None:
+            return self._programs
+        out: List[ProgramClass] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for base in node.bases:
+                name = terminal_name(base)
+                if name is not None and name.endswith(PROGRAM_BASE_SUFFIX):
+                    pc = ProgramClass(node)
+                    for item in node.body:
+                        if isinstance(item, ast.FunctionDef):
+                            pc.methods[item.name] = item
+                    out.append(pc)
+                    break
+        self._programs = out
+        return out
+
+    def program_methods(
+        self, *, include_kernels: bool = False
+    ) -> Iterator[Tuple[ProgramClass, ast.FunctionDef]]:
+        """Every method of every program class (kernels opt-in)."""
+        for pc in self.program_classes():
+            for name, fn in pc.methods.items():
+                if name == "column_kernel" and not include_kernels:
+                    continue
+                yield pc, fn
+
+
+#: Signature shared by the rule-module check entry points.
+CheckFn = Callable[[ModuleInfo], Iterator[Finding]]

@@ -1,0 +1,294 @@
+"""CONGEST-model compliance rules for node-program bodies.
+
+The paper's round bounds assume the CONGEST discipline: a node knows
+only its own state, its neighbour ids, and the globally announced
+parameters; per-round messages carry O(log n) bits; and a run is a
+deterministic function of the per-trial seed.  The simulator enforces
+parts of this dynamically (``ctx.send`` rejects non-neighbours, the
+scheduler-equivalence suite catches nondeterminism it happens to
+exercise) — these rules enforce the rest statically, on every program,
+including user programs never imported by the test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    contains_send,
+    dotted_name,
+    is_ctx_call,
+    register_rule,
+    terminal_name,
+)
+
+#: Attribute names whose presence in a program method means the program
+#: is reading simulator- or graph-global state instead of messages.
+_REMOTE_ATTRS = frozenset({"network", "graph"})
+
+#: Call targets that materialise global structures inside a program.
+_REMOTE_CALLS = frozenset({"SynchronousNetwork"})
+
+
+@register_rule
+class CongestRemoteState(Rule):
+    id = "congest-remote-state"
+    severity = "error"
+    summary = "program body reads remote/global state outside the ctx API"
+    doc = (
+        "A NodeProgram method may only observe the world through its "
+        "NodeContext: own id, visible neighbour ids, globals, inbox. "
+        "Reaching for `.network`/`.graph` attributes, constructing a "
+        "SynchronousNetwork, or touching the context's private fields "
+        "(`ctx._outbox`, ...) reads state a real distributed node cannot "
+        "see, so round counts measured for the program do not transfer "
+        "to the CONGEST model."
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for pc, fn in mod.program_methods():
+            ctx_names = pc.ctx_names(fn)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Attribute):
+                    if node.attr in _REMOTE_ATTRS:
+                        owner = dotted_name(node.value) or "<expr>"
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"program method {pc.node.name}.{fn.name} reads "
+                            f"`{owner}.{node.attr}` — global state is not "
+                            "visible to a CONGEST node; use ctx "
+                            "(neighbors/globals/inbox) instead",
+                        )
+                    elif (
+                        node.attr.startswith("_")
+                        and not node.attr.startswith("__")
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id in ctx_names
+                    ):
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"program method {pc.node.name}.{fn.name} touches "
+                            f"private context internals `ctx.{node.attr}`; "
+                            "only the public NodeContext API is part of the "
+                            "model contract",
+                        )
+                elif isinstance(node, ast.Call):
+                    name = terminal_name(node.func)
+                    if name in _REMOTE_CALLS:
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"program method {pc.node.name}.{fn.name} "
+                            f"constructs {name}(...) — a node cannot spin up "
+                            "its own simulator over the global graph",
+                        )
+
+
+def _mentions_neighbors(node: ast.AST, ctx_names: frozenset) -> bool:
+    """True if the subtree reads ``ctx.neighbors`` (any context name)."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr.startswith("neighbors")
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id in ctx_names
+        ):
+            return True
+    return False
+
+
+_COLLECTION_CTORS = frozenset({"list", "set", "sorted", "tuple", "frozenset", "dict"})
+
+
+@register_rule
+class CongestPayload(Rule):
+    id = "congest-payload"
+    severity = "warning"
+    summary = "message payload is O(Δ)-sized or unsizable by payload_size"
+    doc = (
+        "CONGEST messages carry O(log n) bits.  A payload that embeds a "
+        "whole neighbour collection (ctx.neighbors, or a "
+        "list/set/dict/comprehension built from it) is O(Δ log n) bits "
+        "per message, and a payload holding a callable cannot be sized "
+        "by payload_size at all, so the byte-accounting the benchmarks "
+        "report would silently under-count it.  Send per-neighbour "
+        "scalars or small tuples instead."
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for pc, fn in mod.program_methods():
+            ctx_names = pc.ctx_names(fn)
+            if not ctx_names:
+                continue
+            for node in ast.walk(fn):
+                if not is_ctx_call(node, ctx_names, ("send", "broadcast")):
+                    continue
+                payload_index = 1 if node.func.attr == "send" else 0
+                if len(node.args) <= payload_index:
+                    continue
+                payload = node.args[payload_index]
+                yield from self._check_payload(mod, pc, fn, ctx_names, payload)
+
+    def _check_payload(self, mod, pc, fn, ctx_names, payload) -> Iterator[Finding]:
+        """Recursive payload walk; a flagged subtree is not descended into
+        (the outermost offending expression is the finding)."""
+        where = f"{pc.node.name}.{fn.name}"
+        sub = payload
+        if isinstance(sub, ast.Lambda):
+            yield self.finding(
+                mod,
+                sub,
+                f"{where} sends a payload containing a lambda — "
+                "payload_size cannot size callables, so the message "
+                "escapes byte accounting",
+            )
+            return
+        if isinstance(
+            sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ) and any(
+            _mentions_neighbors(gen.iter, ctx_names) for gen in sub.generators
+        ):
+            yield self.finding(
+                mod,
+                sub,
+                f"{where} sends a comprehension over ctx.neighbors — "
+                "an O(Δ)-element payload breaks the O(log n)-bit "
+                "CONGEST message bound",
+            )
+            return
+        if isinstance(sub, ast.Call):
+            name = terminal_name(sub.func)
+            if name in _COLLECTION_CTORS and any(
+                _mentions_neighbors(arg, ctx_names) for arg in sub.args
+            ):
+                yield self.finding(
+                    mod,
+                    sub,
+                    f"{where} sends {name}(...) built from ctx.neighbors "
+                    "— an O(Δ)-element payload breaks the O(log n)-bit "
+                    "CONGEST message bound",
+                )
+                return
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "neighbors"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id in ctx_names
+        ):
+            yield self.finding(
+                mod,
+                sub,
+                f"{where} sends ctx.neighbors itself — an O(Δ)-element "
+                "payload breaks the O(log n)-bit CONGEST message bound",
+            )
+            return
+        for child in ast.iter_child_nodes(sub):
+            yield from self._check_payload(mod, pc, fn, ctx_names, child)
+
+
+#: module.attribute calls whose results vary run to run.
+_NONDET_CALLS = {
+    "time": frozenset(
+        {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+         "perf_counter_ns", "clock_gettime"}
+    ),
+    "os": frozenset({"urandom", "getrandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "secrets": None,  # every secrets.* call is nondeterministic
+}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func) in ("set", "frozenset")
+    return False
+
+
+@register_rule
+class Determinism(Rule):
+    id = "determinism"
+    severity = "error"
+    summary = "program output depends on global RNG, clock, or set order"
+    doc = (
+        "A trial must be a pure function of its seed: the cache keys "
+        "records by spec content, and the scheduler-equivalence suite "
+        "compares byte-identical RunResults across engines.  Program "
+        "code must draw randomness from a seeded random.Random(seed) "
+        "instance (module-level random.*, time, os.urandom, uuid, "
+        "secrets are all forbidden), and must not iterate a set/frozenset "
+        "while sending — set order varies with hash seeding, so payload "
+        "emission order would too."
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        has_programs = bool(mod.program_classes())
+        if has_programs:
+            # `from random import randrange` makes the module-global RNG
+            # invisible to the call-site check below: flag the import.
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.ImportFrom) and node.module == "random":
+                    bad = [a.name for a in node.names if a.name != "Random"]
+                    if bad:
+                        yield self.finding(
+                            mod,
+                            node,
+                            "module defines node programs but imports "
+                            f"module-level RNG functions from random: "
+                            f"{', '.join(bad)}; construct a seeded "
+                            "random.Random(seed) per node instead",
+                        )
+        for pc, fn in mod.program_methods(include_kernels=True):
+            ctx_names = pc.ctx_names(fn)
+            where = f"{pc.node.name}.{fn.name}"
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    chain = dotted_name(node.func)
+                    if chain is None:
+                        continue
+                    root, _, rest = chain.partition(".")
+                    leaf = chain.rsplit(".", 1)[-1]
+                    if root == "random" and rest and leaf != "Random":
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"{where} calls the module-global RNG "
+                            f"`{chain}(...)`; use a random.Random(seed) "
+                            "instance seeded from the trial seed so replays "
+                            "are deterministic",
+                        )
+                    elif root in _NONDET_CALLS and rest:
+                        allowed = _NONDET_CALLS[root]
+                        if allowed is None or leaf in allowed:
+                            yield self.finding(
+                                mod,
+                                node,
+                                f"{where} calls `{chain}(...)` — wall-clock/"
+                                "entropy inputs make the trial "
+                                "irreproducible under its seed",
+                            )
+                elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+                    send = None
+                    for stmt in node.body:
+                        send = contains_send(stmt, ctx_names)
+                        if send is not None:
+                            break
+                    if send is not None:
+                        yield self.finding(
+                            mod,
+                            send,
+                            f"{where} sends from a loop over an unordered "
+                            "set — iteration order depends on hashing, so "
+                            "message emission order is nondeterministic; "
+                            "iterate sorted(...) instead",
+                        )

@@ -1,0 +1,68 @@
+"""Inline suppression comments for ``repro check``.
+
+A finding is suppressed by a comment on the finding's line or the line
+directly above it::
+
+    self._rng = random.Random(trial_seed)
+    nbrs = list(self.graph.neighbors(v))  # repro: allow[congest-remote-state] verifier, not a program
+
+    # repro: allow[determinism] replayed from a recorded trace
+    order = random.sample(pool, k)
+
+The rule id in brackets must match the finding's rule exactly; the text
+after the bracket is the justification, surfaced verbatim in the JSON
+output so reviews can audit every suppression.  A suppression without a
+reason is honoured but reported as ``(no reason given)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: ``# repro: allow[rule-id] reason...``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[a-z0-9*-]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    rule: str
+    reason: str
+    line: int
+
+    def covers(self, rule_id: str) -> bool:
+        return self.rule == rule_id or self.rule == "*"
+
+
+def parse_suppressions(source: str) -> Dict[int, List[Suppression]]:
+    """Map each 1-based line number to the suppressions written on it."""
+    out: Dict[int, List[Suppression]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        reason = m.group("reason").strip() or "(no reason given)"
+        out.setdefault(lineno, []).append(
+            Suppression(rule=m.group("rule"), reason=reason, line=lineno)
+        )
+    return out
+
+
+def match_suppression(
+    suppressions: Dict[int, List[Suppression]], rule_id: str, line: int
+):
+    """The suppression covering ``rule_id`` at ``line``, if any.
+
+    A comment covers its own line and the line directly below it (so a
+    standalone comment line shields the statement that follows).
+    """
+    for candidate_line in (line, line - 1):
+        for sup in suppressions.get(candidate_line, []):
+            if sup.covers(rule_id):
+                return sup
+    return None

@@ -25,10 +25,10 @@ def render_table(
             widths[i] = max(widths[i], len(cell))
     sep = "-+-".join("-" * w for w in widths)
     lines = [f"== {title} =="]
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append(sep)
     for row in rows:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     if note:
         lines.append(f"note: {note}")
     return "\n".join(lines)

@@ -13,6 +13,8 @@ without writing code::
     python -m repro sweep --executor socket --spawn-workers 4
     python -m repro worker --connect 127.0.0.1:7000
     python -m repro report trace sweep-trace.jsonl
+    python -m repro check src benchmarks examples --format json
+    python -m repro check --list-rules
 
 Output is a small plain-text report: the instance, the result (colors /
 set size / decomposition stats), the round count, and the verification
@@ -236,9 +238,9 @@ def _cmd_sweep(args) -> int:
         try:
             spec = SweepSpec.from_file(args.spec)
         except OSError as exc:
-            raise SystemExit(f"cannot read sweep spec: {exc}")
+            raise SystemExit(f"cannot read sweep spec: {exc}") from None
         except ValueError as exc:
-            raise SystemExit(f"invalid sweep spec {args.spec!r}: {exc}")
+            raise SystemExit(f"invalid sweep spec {args.spec!r}: {exc}") from None
     else:
         spec = _default_sweep_spec(args.n, args.seeds)
 
@@ -313,7 +315,7 @@ def _cmd_sweep(args) -> int:
             executor=executor,
         )
     except (ExecutorError, InvalidParameterError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     finally:
         if coordinator is not None:
             coordinator.close()
@@ -381,6 +383,48 @@ def _cmd_worker(args) -> int:
     return run_worker(host, port, say=print)
 
 
+def _cmd_check(args) -> int:
+    from .analysis.check import RULES, check_paths, rule_ids
+    from .analysis.check.runner import (
+        render_github,
+        render_human,
+        render_json,
+    )
+
+    if args.list_rules:
+        rows = [
+            [rid, RULES[rid].severity, RULES[rid].summary]
+            for rid in rule_ids()
+        ]
+        print(render_table(
+            "repro check — rule catalog",
+            ["rule", "severity", "summary"],
+            rows,
+            note="suppress inline with `# repro: allow[rule-id] reason`",
+        ))
+        return 0
+
+    if args.rule:
+        unknown = sorted(set(args.rule) - set(rule_ids()))
+        if unknown:
+            raise SystemExit(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"registered rules: {', '.join(rule_ids())}"
+            )
+    paths = args.paths or ["src", "benchmarks", "examples"]
+    try:
+        result = check_paths(paths, rule_ids=args.rule or None)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"cannot check {exc}: no such file or directory") from None
+    renderer = {
+        "human": render_human,
+        "json": render_json,
+        "github": render_github,
+    }[args.format]
+    print(renderer(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_report(args) -> int:
     from .obs import render_trace_report
 
@@ -388,7 +432,7 @@ def _cmd_report(args) -> int:
         try:
             print(render_trace_report(args.path))
         except OSError as exc:
-            raise SystemExit(f"cannot read trace: {exc}")
+            raise SystemExit(f"cannot read trace: {exc}") from None
     return 0
 
 
@@ -506,6 +550,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="coordinator address printed by "
                           "`repro sweep --executor socket`")
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_check = sub.add_parser(
+        "check",
+        help="statically check CONGEST/engine/concurrency contracts "
+        "(node programs, column kernels, executors, cache keys)",
+    )
+    p_check.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyze "
+        "(default: src benchmarks examples)",
+    )
+    p_check.add_argument(
+        "--format", choices=["human", "json", "github"], default="human",
+        help="output format: human (default), json (machine-readable, "
+        "surfaces suppressions), github (workflow annotations)",
+    )
+    p_check.add_argument(
+        "--rule", action="append", default=[], metavar="RULE-ID",
+        help="run only this rule (repeatable; default: every rule)",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_report = sub.add_parser(
         "report", help="summarize observability artifacts"

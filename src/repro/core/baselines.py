@@ -95,7 +95,7 @@ class _LubyColoringProgram(NodeProgram):
 
     def on_round(self, ctx: NodeContext) -> None:
         conflict = False
-        for sender, payload in ctx.inbox.items():
+        for payload in ctx.inbox.values():
             kind, value = payload
             if kind == "final":
                 self._taken.add(value)

@@ -128,7 +128,8 @@ class _ForestLabelProgram(NodeProgram):
             out_labels = [{} for _ in range(n)]
             in_labels = [{} for _ in range(n)]
             for t, h, f in zip(
-                tails.tolist(), heads.tolist(), labels.tolist()
+                tails.tolist(), heads.tolist(), labels.tolist(),
+                strict=True,
             ):
                 out_labels[t][h] = f
                 in_labels[h][t] = f

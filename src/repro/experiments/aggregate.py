@@ -128,7 +128,7 @@ def summarize(
         buckets.setdefault(_group_key(tr, by), []).append(tr)
     out = []
     for key in sorted(buckets, key=lambda k: tuple(str(x) for x in k)):
-        group = dict(zip(by, key))
+        group = dict(zip(by, key, strict=True))
         out.append(GroupSummary(group, buckets[key]))
     return out
 
@@ -154,7 +154,7 @@ def report_table(
     MIS size) — groups of different kinds can share one table.
     """
     groups = summarize(sweep.results, by=by)
-    headers = list(by) + ["trials", "n p50"]
+    headers = [*by, "trials", "n p50"]
     active = [
         (m, h)
         for m, h in _REPORT_METRICS
@@ -199,8 +199,8 @@ def stage_timing_table(
     timed trial shows ``-`` for every mean instead of fabricated zeros.
     """
     groups = summarize(sweep.results, by=by)
-    headers = list(by) + ["trials", "timed", "cached"]
-    headers += [f"{s} ms" for s in STAGES] + ["total ms"]
+    headers = [*by, "trials", "timed", "cached"]
+    headers += [*(f"{s} ms" for s in STAGES), "total ms"]
     rows = []
     for g in groups:
         timed = [t for t in g.trials if t.stages]

@@ -42,6 +42,8 @@ telemetry; ``on_run_end`` is emitted by ``SynchronousNetwork.run`` once the
 from __future__ import annotations
 
 import heapq
+import os
+import warnings
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import RoundLimitExceeded, SimulationError
@@ -72,6 +74,11 @@ class Engine:
 #: The engine registry: name -> engine instance.
 ENGINES: Dict[str, Engine] = {}
 
+#: Names shipped by the package itself; shadowing one outside a test run
+#: changes the semantics of every sweep spec that says "dense"/"event"/
+#: "column", so it warns.
+_BUILTIN_ENGINE_NAMES = frozenset({"dense", "event", "column"})
+
 
 def register_engine(name: str) -> Callable[[type], type]:
     """Class decorator registering an :class:`Engine` subclass under ``name``.
@@ -80,10 +87,25 @@ def register_engine(name: str) -> Callable[[type], type]:
     becomes valid everywhere a ``scheduler`` is accepted
     (``SynchronousNetwork``, sweep specs, the CLI).  Registering an existing
     name replaces the previous engine (latest wins), which is how a test or
-    an experiment can shadow a built-in.
+    an experiment can shadow a built-in — but shadowing a built-in outside
+    a pytest run emits a :class:`RuntimeWarning`, because every cached
+    TrialSpec naming that scheduler silently changes meaning.
     """
 
     def deco(cls: type) -> type:
+        if (
+            name in _BUILTIN_ENGINE_NAMES
+            and name in ENGINES
+            and "PYTEST_CURRENT_TEST" not in os.environ
+        ):
+            warnings.warn(
+                f"register_engine({name!r}) shadows the built-in "
+                f"{name!r} engine ({type(ENGINES[name]).__name__}); cached "
+                "results keyed on this scheduler name no longer describe "
+                "the code that produced them",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         cls.name = name
         ENGINES[name] = cls()
         return cls

@@ -1,0 +1,21 @@
+"""Fixture: cache-key-stability violations — non-JSON-stable spec params."""
+
+import time
+
+from repro.experiments.spec import ScenarioSpec, TrialSpec
+
+
+def unstable_specs():
+    trial = TrialSpec(
+        family="forest_union",
+        algorithm="cor46",
+        family_params={"levels": {1, 2, 3}},  # set: no canonical JSON form
+        algorithm_params={"stamp": time.time()},  # fresh key every run
+    )
+    scenario = ScenarioSpec(
+        family="forest_union",
+        algorithm="cor46",
+        family_params={"eta": float("nan"), 3: "int-key"},
+        algorithm_params={"pick": lambda a: a},
+    )
+    return trial, scenario

@@ -1,0 +1,22 @@
+"""Fixture: determinism violations — global RNG, clocks, set iteration."""
+
+import random
+import time
+
+from repro.simulator.context import NodeContext
+from repro.simulator.program import NodeProgram
+
+
+class FlakyProgram(NodeProgram):
+    def on_start(self, ctx: NodeContext) -> None:
+        # module-level RNG: unseeded, shared across nodes
+        priority = random.random()
+        ctx.broadcast(priority)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        # wall clock flowing into program state
+        stamp = time.time()
+        for u in set(ctx.inbox):
+            # sending while iterating an unordered set
+            ctx.send(u, stamp)
+        ctx.halt(stamp)

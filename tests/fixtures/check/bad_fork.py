@@ -1,0 +1,32 @@
+"""Fixture: fork-thread-safety violations — threads/locks/shm vs fork."""
+
+import multiprocessing
+import threading
+from multiprocessing import shared_memory
+
+_publish_lock = threading.Lock()
+
+
+def thread_then_pool(records):
+    absorb = threading.Thread(target=records.append, args=(1,))
+    absorb.start()
+    # the pool forks while the absorb thread is live
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(str, records)
+
+
+def pool_under_lock(records):
+    with _publish_lock:
+        # forks with _publish_lock held: children inherit it locked
+        pool = multiprocessing.Pool(2)
+    try:
+        return pool.map(str, records)
+    finally:
+        pool.terminate()
+
+
+def rogue_segment(payload: bytes):
+    # created outside the GraphStore layer: never registered for teardown
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))
+    seg.buf[: len(payload)] = payload
+    return seg.name

@@ -1,0 +1,21 @@
+"""Fixture: kernel-purity violations — CSR mutation, self state, ctx use."""
+
+from repro.simulator.context import NodeContext
+from repro.simulator.program import NodeProgram
+
+
+class ImpureKernelProgram(NodeProgram):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.halt(0)
+
+    def column_kernel(self, col):
+        def run() -> None:
+            # in-place mutation of the shared CSR view
+            col.neighbors[0] = 99
+            col.offsets.sort()
+            # state parked on the prototype instance
+            self._last_run_rounds = 1
+            col.outputs = {}
+            col.rounds = 1
+
+        return run

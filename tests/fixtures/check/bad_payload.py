@@ -1,0 +1,18 @@
+"""Fixture: congest-payload violations — O(Δ) and unsizable payloads."""
+
+from repro.simulator.context import NodeContext
+from repro.simulator.program import NodeProgram
+
+
+class ChattyProgram(NodeProgram):
+    def on_start(self, ctx: NodeContext) -> None:
+        # the whole neighbour list in one message: O(Δ log n) bits
+        ctx.broadcast(list(ctx.neighbors))
+
+    def on_round(self, ctx: NodeContext) -> None:
+        for u in ctx.neighbors:
+            # a comprehension over the neighbourhood as payload
+            ctx.send(u, {v: 1 for v in ctx.neighbors if v != u})
+        # a callable payload: payload_size cannot size it
+        ctx.broadcast(lambda: 42)
+        ctx.halt()

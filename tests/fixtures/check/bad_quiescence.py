@@ -1,0 +1,15 @@
+"""Fixture: quiescence-safety violation — a send after declaring idle."""
+
+from repro.simulator.context import NodeContext
+from repro.simulator.program import NodeProgram
+
+
+class SleepySenderProgram(NodeProgram):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast(1)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        ctx.idle_until_message()
+        if ctx.inbox:
+            # breaks the idle promise made two lines up
+            ctx.broadcast(2)

@@ -1,0 +1,23 @@
+"""Fixture: congest-remote-state violations (and nothing else)."""
+
+from repro.simulator.context import NodeContext
+from repro.simulator.network import SynchronousNetwork
+from repro.simulator.program import NodeProgram
+
+
+class PeekingProgram(NodeProgram):
+    def __init__(self, net):
+        self._net = net
+
+    def on_start(self, ctx: NodeContext) -> None:
+        # reads the global graph through the captured network object
+        degree_of_far_node = self._net.graph.degree(0)
+        ctx.broadcast(degree_of_far_node)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        # touches the context's private internals
+        if ctx._outbox:
+            return
+        # spins up a simulator inside a node
+        inner = SynchronousNetwork(self._net.graph)
+        ctx.halt(inner)

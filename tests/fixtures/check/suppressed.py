@@ -1,0 +1,23 @@
+"""Fixture: violations silenced by inline `# repro: allow[...]` comments."""
+
+import random
+
+from repro.simulator.context import NodeContext
+from repro.simulator.program import NodeProgram
+
+
+class AuditedProgram(NodeProgram):
+    def on_start(self, ctx: NodeContext) -> None:
+        jitter = random.random()  # repro: allow[determinism] fixture exercises suppression plumbing
+        ctx.broadcast(jitter)
+
+    def on_round(self, ctx: NodeContext) -> None:
+        # repro: allow[congest-payload] reason on the line above the finding
+        ctx.broadcast(list(ctx.neighbors))
+        ctx.halt()
+
+
+class UnreasonedProgram(NodeProgram):
+    def on_start(self, ctx: NodeContext) -> None:
+        stamp = random.random()  # repro: allow[determinism]
+        ctx.halt(stamp)

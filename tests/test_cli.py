@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import COLORING_ALGORITHMS, FAMILIES, MIS_ALGORITHMS, build_parser, main
@@ -62,3 +64,53 @@ class TestCommands:
     def test_unknown_algorithm(self):
         with pytest.raises(SystemExit):
             main(["color", "--algorithm", "nonsense"])
+
+
+class TestCheckCommand:
+    FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "check")
+
+    def test_clean_fixture_exits_zero(self, capsys):
+        code = main(["check", f"{self.FIXTURES}/clean_program.py"])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_bad_fixture_exits_one(self, capsys):
+        code = main(["check", f"{self.FIXTURES}/bad_determinism.py"])
+        assert code == 1
+        assert "error[determinism]" in capsys.readouterr().out
+
+    def test_json_format_parses(self, capsys):
+        import json
+
+        code = main(
+            ["check", f"{self.FIXTURES}/bad_payload.py", "--format", "json"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert all(f["rule"] == "congest-payload" for f in doc["findings"])
+
+    def test_rule_filter(self, capsys):
+        code = main(
+            ["check", f"{self.FIXTURES}/bad_determinism.py",
+             "--rule", "congest-payload"]
+        )
+        assert code == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "congest-remote-state", "congest-payload", "determinism",
+            "kernel-purity", "quiescence-safety", "fork-thread-safety",
+            "cache-key-stability",
+        ):
+            assert rule_id in out
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--rule", "nonsense"])
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "/nonexistent/nowhere"])

@@ -38,6 +38,47 @@ class TestRegistry:
         assert isinstance(eng, Engine)
         assert eng.name == "event"
 
+    def test_shadowing_builtin_warns_outside_pytest(self, monkeypatch):
+        monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+        original = ENGINES["event"]
+        try:
+            with pytest.warns(RuntimeWarning, match="shadows the built-in"):
+
+                @register_engine("event")
+                class ShadowEngine(Engine):
+                    def execute(self, run):
+                        original.execute(run)
+
+        finally:
+            ENGINES["event"] = original
+
+    def test_shadowing_builtin_silent_under_pytest(self, recwarn):
+        # PYTEST_CURRENT_TEST is set here, so the shadow is sanctioned.
+        original = ENGINES["event"]
+        try:
+
+            @register_engine("event")
+            class QuietShadow(Engine):
+                def execute(self, run):
+                    original.execute(run)
+
+        finally:
+            ENGINES["event"] = original
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+    def test_registering_fresh_name_never_warns(self, monkeypatch, recwarn):
+        monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+        try:
+
+            @register_engine("test-fresh")
+            class FreshEngine(Engine):
+                def execute(self, run):
+                    raise NotImplementedError
+
+        finally:
+            del ENGINES["test-fresh"]
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
     def test_register_engine_is_visible_to_networks(self):
         event = get_engine("event")
 

@@ -9,6 +9,8 @@ import time
 
 import pytest
 
+from typing import ClassVar
+
 from repro.cli import main
 from repro.errors import InvalidParameterError
 from repro.experiments import (
@@ -239,7 +241,7 @@ class TestRunner:
         assert second.hit_rate >= 0.9  # in fact 1.0
         assert second.cache_misses == 0
         assert report_table(second) == report_table(first)
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert a.metrics == b.metrics
 
     def test_no_cache_recomputes(self):
@@ -442,7 +444,7 @@ class TestOverlappedBuilds:
                 seeds=[0, 1],
             ),
         )
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             run_sweep(spec, workers=2)
         assert seen_names
         for name in seen_names:
@@ -699,7 +701,7 @@ class TestPhaseBreakdowns:
             ),
         )
 
-    EXPECTED = {
+    EXPECTED: ClassVar = {
         "mis_arboricity": ["coloring_thm43", "color_class_sweep"],
         "forests": ["hpartition", "forest_labeling"],
     }

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import InvalidParameterError
 from repro.experiments import GraphStore, ShmGraphRef, shm_available
 from repro.experiments.graphstore import resolve_graph
 from repro.experiments.spec import TrialSpec
@@ -135,7 +136,7 @@ class TestLifecycle:
 
         seg = shared_memory.SharedMemory(create=True, size=64)
         try:
-            with pytest.raises(Exception):  # InvalidParameterError
+            with pytest.raises(InvalidParameterError):
                 Graph.from_shm(seg.name)
         finally:
             seg.close()

@@ -4,6 +4,8 @@ Covers the corners the composite algorithms rely on: nested payload size
 estimation, zero-round protocols (halt-at-start costs 0 rounds and 0
 messages), and ledger composition/breakdown semantics."""
 
+import dataclasses
+
 import pytest
 
 from repro import Graph, SynchronousNetwork
@@ -87,7 +89,7 @@ class TestPayloadSize:
 
     def test_envelope_is_frozen(self):
         env = Envelope(sender=0, dest=1, payload=(1, 2))
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             env.payload = None
 
 

@@ -373,7 +373,7 @@ class TestReportTrends:
             ),
         ]
         out_path = tmp_path / "TRENDS.md"
-        assert trends.main(paths + ["--output", str(out_path)]) == 0
+        assert trends.main([*paths, "--output", str(out_path)]) == 0
         text = out_path.read_text()
         assert "| bench | metric |" in text and "y_speedup" in text
         assert trends.main([str(tmp_path / "missing.json")]) == 1

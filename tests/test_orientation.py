@@ -160,5 +160,5 @@ class TestLongestPath:
         g = forest_graph.graph
         path = longest_directed_path(g, po)
         assert len(path) - 1 == orientation_length(g, po)
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             assert po.head(u, v) == v

@@ -51,7 +51,7 @@ class TestPolynomialFamily:
         fam = PolynomialFamily(q=5, degree=2)
         rows = [fam.row(x) for x in range(fam.size)]
         for x, y in itertools.combinations(range(fam.size), 2):
-            agreements = sum(1 for a, b in zip(rows[x], rows[y]) if a == b)
+            agreements = sum(1 for a, b in zip(rows[x], rows[y], strict=True) if a == b)
             assert agreements <= 2, (x, y)
 
     def test_rows_distinct(self):

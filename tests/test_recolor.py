@@ -17,14 +17,14 @@ from repro.verify import check_legal_coloring, coloring_defect
 class TestSchedule:
     def test_strictly_shrinking(self):
         schedule = compute_recolor_schedule(10**6, 16, 0)
-        sizes = [s.colors_in for s in schedule] + [schedule[-1].colors_out]
-        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        sizes = [*(s.colors_in for s in schedule), schedule[-1].colors_out]
+        assert all(a > b for a, b in zip(sizes, sizes[1:], strict=False))
 
     def test_defect_budget_respected(self):
         schedule = compute_recolor_schedule(10**6, 40, 7)
         assert all(s.defect_new <= 7 for s in schedule)
         # the budget is consumed monotonically
-        for prev, cur in zip(schedule, schedule[1:]):
+        for prev, cur in zip(schedule, schedule[1:], strict=False):
             assert cur.defect_prev == prev.defect_new
 
     def test_zero_defect_fixpoint_quadratic(self):

@@ -18,6 +18,8 @@ five fields, with byte counting on) for programs that declare quiescence.
 
 import pytest
 
+from typing import ClassVar
+
 from repro import SynchronousNetwork
 from repro.core import (
     arb_kuhn_decomposition,
@@ -179,7 +181,7 @@ class TestMessageTraceEquivalence:
         runner(net)
         return trace, telemetry
 
-    TRACED_ALGORITHMS = [
+    TRACED_ALGORITHMS: ClassVar = [
         ("mis_arboricity", lambda net, a: mis_arboricity(net, a)),
         ("ruling_set", lambda net, a: ruling_set(net)),
         ("cor46", lambda net, a: legal_coloring_corollary46(net, a, eta=0.5)),
